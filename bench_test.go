@@ -1,0 +1,271 @@
+package neurolpm_test
+
+// One testing.B benchmark per paper table/figure (DESIGN.md experiment
+// index). Each delegates to internal/experiments at a reduced scale so that
+// `go test -bench=.` finishes in minutes; `cmd/lpmbench -full` regenerates
+// everything at paper scale. The measured quantity of each figure is
+// reported as a benchmark metric alongside the wall time of regenerating it.
+
+import (
+	"testing"
+
+	"neurolpm/internal/experiments"
+	"neurolpm/internal/rqrmi"
+)
+
+func benchScale() experiments.Scale {
+	m := rqrmi.DefaultConfig()
+	m.StageWidths = []int{1, 4, 32}
+	m.Samples = 1024
+	m.Epochs = 25
+	m.MaxRounds = 2
+	return experiments.Scale{
+		Rules: map[string]int{
+			"ripe": 30000, "routeviews": 30000, "stanford": 12000,
+			"snort": 12000, "ipv6": 6000,
+		},
+		TraceLen:   200000,
+		HWTraceLen: 15000,
+		Model:      m,
+		Seed:       1,
+	}
+}
+
+func BenchmarkFig2PrefixDistribution(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.RoutingTop), "routing-mode-bits")
+		b.ReportMetric(float64(res.StringSpan), "string-distinct-lengths")
+	}
+}
+
+func BenchmarkFig6aBankThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig6a(1)
+		// Report the paper's sizing anchor: T(16 banks, 16 FSMs) ≈ 10.
+		for _, p := range pts {
+			if p.Banks == 16 && p.FSMs == 15 {
+				b.ReportMetric(p.Analytical, "T(16,15)")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6bTrainingTradeoff(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6b(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].TrainParallel.Milliseconds()), "train-e6-ms")
+		b.ReportMetric(rows[0].Throughput, "tput-e6-q/cyc")
+	}
+}
+
+func BenchmarkFig7DRAMBandwidth(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig7(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Family == "ripe" && c.SRAMBytes == 2*1024*1024 && c.Ran {
+				switch c.Algorithm {
+				case "neurolpm":
+					b.ReportMetric(c.BytesPerQuery, "neurolpm-B/q")
+				case "treebitmap":
+					b.ReportMetric(c.BytesPerQuery, "treebitmap-B/q")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig8HardwareThroughput(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Family == "ripe" && r.Config.Engines == 2 && r.Config.FSMs == 96 {
+				b.ReportMetric(r.MppsAt100M, "Mpps@100MHz")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9LatencyCDF(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Family == "ripe" && r.Config.FSMs == 96 {
+				b.ReportMetric(float64(r.Latencies[2]), "p50-cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10BucketSize(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig10(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Family == "ripe" && c.BucketBytes == 32 && c.Ran {
+				b.ReportMetric(c.MissRatePct, "ripe-32B-miss%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Resources(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[2].BRAMBytes)/float64(rows[0].BRAMBytes), "sail/neurolpm-BRAM")
+	}
+}
+
+func BenchmarkExpansion(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Expansion(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := 0.0
+		for _, r := range rows {
+			avg += r.ExpansionPct
+		}
+		b.ReportMetric(avg/float64(len(rows)), "avg-expansion-%")
+	}
+}
+
+func BenchmarkWorstCaseAccesses(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.WorstCase(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algorithm == "neurolpm" {
+				b.ReportMetric(float64(r.Bound), "neurolpm-worst-acc")
+			}
+		}
+	}
+}
+
+func BenchmarkVsBinarySearch(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.VsBinarySearch(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Reduction, "ripe-reduction-x")
+	}
+}
+
+func BenchmarkBitwidthScaling(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Bitwidth(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[len(rows)-1].TrieDRAM), "trie-128bit-acc")
+	}
+}
+
+func BenchmarkUpdates(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Updates(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[2].Duration.Milliseconds()), "insert-retrain-ms")
+	}
+}
+
+func BenchmarkScalingTradeoff(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Scaling(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].TputVsBase, "4.5x-same-model-tput")
+	}
+}
+
+func BenchmarkHeadlineThroughput(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Headline(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := 0.0
+		for _, r := range rows {
+			avg += r.MppsAt100M
+		}
+		b.ReportMetric(avg/float64(len(rows)), "avg-Mpps@100MHz")
+	}
+}
+
+func BenchmarkModelSizeAblation(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ModelSize(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].AvgProbes, "probes-8sub")
+		b.ReportMetric(rows[len(rows)-1].AvgProbes, "probes-128sub")
+	}
+}
+
+func BenchmarkTSSSensitivity(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TSSSensitivity(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Family == "snort" {
+				b.ReportMetric(float64(r.Tables), "snort-tables")
+			}
+		}
+	}
+}
+
+func BenchmarkDRAMPipeline(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DRAMPipeline(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Throughput, "tput-1issue")
+	}
+}

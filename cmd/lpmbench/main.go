@@ -1,0 +1,213 @@
+// Command lpmbench regenerates the paper's tables and figures (DESIGN.md's
+// experiment index E1–E15). By default it runs every experiment at quick
+// scale; -full switches to paper-scale inputs (§10.1 rule counts, 10M-query
+// traces), which takes tens of minutes.
+//
+// Usage:
+//
+//	lpmbench [-exp name] [-full] [-seed N]
+//
+// Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
+// worstcase binsearch bitwidth updates scaling headline modelsize tss dram
+// replicas designspace worstbw all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"neurolpm/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
+	full := flag.Bool("full", false, "paper-scale inputs (§10.1); slow")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	if *full {
+		sc = experiments.PaperScale()
+	}
+	sc.Seed = *seed
+
+	runners := map[string]func(experiments.Scale) (*experiments.Table, error){
+		"fig2": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Fig2(sc)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig6a": func(sc experiments.Scale) (*experiments.Table, error) {
+			return experiments.Fig6aTable(experiments.Fig6a(sc.Seed)), nil
+		},
+		"fig6b": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Fig6b(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig6bTable(r), nil
+		},
+		"fig7": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Fig7(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig7Table(r), nil
+		},
+		"fig8": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Fig8(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig8Table(r), nil
+		},
+		"fig9": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Fig9(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig9Table(r), nil
+		},
+		"fig10": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Fig10(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig10Table(r), nil
+		},
+		"table1": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Table1(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table1Table(r), nil
+		},
+		"expansion": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Expansion(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.ExpansionTable(r), nil
+		},
+		"worstcase": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.WorstCase(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.WorstCaseTable(r), nil
+		},
+		"binsearch": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.VsBinarySearch(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.VsBinarySearchTable(r), nil
+		},
+		"bitwidth": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Bitwidth(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.BitwidthTable(r), nil
+		},
+		"updates": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Updates(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.UpdatesTable(r), nil
+		},
+		"scaling": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Scaling(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.ScalingTable(r), nil
+		},
+		"headline": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Headline(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.HeadlineTable(r), nil
+		},
+		"modelsize": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.ModelSize(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.ModelSizeTable(r), nil
+		},
+		"tss": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.TSSSensitivity(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.TSSSensitivityTable(r), nil
+		},
+		"dram": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.DRAMPipeline(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.DRAMPipelineTable(r), nil
+		},
+		"replicas": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Replicas(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.ReplicasTable(r), nil
+		},
+		"emexpand": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.EMExpansion(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.EMExpansionTable(r), nil
+		},
+		"worstbw": func(sc experiments.Scale) (*experiments.Table, error) {
+			return experiments.WorstCaseBandwidthTable(experiments.WorstCaseBandwidth()), nil
+		},
+		"designspace": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.DesignSpace(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.DesignSpaceTable(r), nil
+		},
+	}
+	order := []string{
+		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
+		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
+		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
+	}
+
+	names := order
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "lpmbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+	scaleName := "quick"
+	if *full {
+		scaleName = "paper"
+	}
+	fmt.Printf("# lpmbench scale=%s seed=%d\n\n", scaleName, *seed)
+	for _, name := range names {
+		start := time.Now()
+		tab, err := runners[name](sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,89 @@
+// Command lpmgen generates synthetic rule-sets and query traces from the
+// calibrated workload families (DESIGN.md §2 substitutions for the paper's
+// RIPE / RouteViews / Stanford / Snort inputs).
+//
+// Usage:
+//
+//	lpmgen -profile ripe -rules 870000 -out rules.txt
+//	lpmgen -profile ripe -rules 10000 -trace 1000000 -traceout trace.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"neurolpm/internal/workload"
+)
+
+func main() {
+	profile := flag.String("profile", "ripe", "workload family: ripe routeviews stanford snort ipv6")
+	nRules := flag.Int("rules", 10000, "number of rules")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "rule-set output file (default stdout)")
+	traceN := flag.Int("trace", 0, "also generate a query trace of this length")
+	traceOut := flag.String("traceout", "", "trace output file")
+	flag.Parse()
+
+	p, ok := workload.Profiles()[*profile]
+	if !ok {
+		names := make([]string, 0)
+		for n := range workload.Profiles() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fatal("unknown profile %q (have %v)", *profile, names)
+	}
+	rs, err := workload.Generate(p, *nRules, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := writeText(*out, rs.Format()); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "lpmgen: %d rules (%d-bit, profile %s)\n", rs.Len(), rs.Width, p.Name)
+
+	if *traceN > 0 {
+		trace, err := workload.GenerateTrace(rs, workload.DefaultTrace(*traceN, *seed+1))
+		if err != nil {
+			fatal("%v", err)
+		}
+		var b strings.Builder
+		if err := workload.WriteTrace(&b, trace); err != nil {
+			fatal("%v", err)
+		}
+		if err := writeText(*traceOut, b.String()); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "lpmgen: %d trace queries\n", len(trace))
+	}
+}
+
+func writeText(path, text string) error {
+	if path == "" {
+		_, err := os.Stdout.WriteString(text)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(text); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lpmgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a NeuroLPM engine over a small IPv4 forwarding table
+// and route a few packets. This is App 1 of the paper (§3.1) in its
+// simplest form.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"neurolpm"
+)
+
+func main() {
+	// A toy forwarding table: action = output port.
+	table := []struct {
+		cidr string
+		port uint64
+	}{
+		{"0.0.0.0/0", 0},      // default route
+		{"10.0.0.0/8", 1},     // private aggregate
+		{"10.1.0.0/16", 2},    // site
+		{"10.1.2.0/24", 3},    // rack
+		{"192.168.0.0/16", 4}, // lab
+		{"203.0.113.0/24", 5}, // documentation range
+	}
+	var rules []neurolpm.Rule
+	for _, e := range table {
+		r, err := neurolpm.IPv4Rule(e.cidr, e.port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rules = append(rules, r)
+	}
+	rs, err := neurolpm.NewRuleSet(32, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline preparation: ranges → (buckets) → RQRMI training (§4).
+	engine, err := neurolpm.Build(rs, neurolpm.SRAMOnlyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built engine: %d rules, %d ranges, model %d bytes, max error %d\n",
+		rs.Len(), engine.Ranges().Len(), engine.Model().SizeBytes(), engine.Model().MaxErr())
+
+	// Online queries: inference + bounded secondary search.
+	for _, addr := range []string{"10.1.2.3", "10.1.200.7", "10.200.0.1", "192.168.5.5", "8.8.8.8"} {
+		port, ok := engine.Lookup(neurolpm.IPv4Key(netip.MustParseAddr(addr)))
+		if !ok {
+			log.Fatalf("%s: no route (default route should always match)", addr)
+		}
+		fmt.Printf("%-14s -> port %d\n", addr, port)
+	}
+}

@@ -1,0 +1,3 @@
+module neurolpm
+
+go 1.23

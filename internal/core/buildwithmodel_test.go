@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"neurolpm/internal/rqrmi"
+)
+
+// TestBuildWithModelRoundTrip covers the control-plane→data-plane
+// deployment path: train once, serialize, rebuild around the stored model.
+func TestBuildWithModelRoundTrip(t *testing.T) {
+	rs := randomRuleSet(t, 24, 400, 40)
+	for _, cfg := range []Config{quickSRAMOnly(), quickBucketed()} {
+		trained, err := Build(rs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := trained.Model().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		model, err := rqrmi.ReadModel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deployed, err := BuildWithModel(rs, cfg, model, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesOracle(t, deployed, rs, 2000, 41)
+		if deployed.Bucketized() != trained.Bucketized() {
+			t.Fatal("bucketization mode changed across deployment")
+		}
+	}
+}
+
+func TestBuildWithModelRejectsMismatch(t *testing.T) {
+	rs := randomRuleSet(t, 24, 300, 42)
+	other := randomRuleSet(t, 24, 500, 43)
+	trained, err := Build(other, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model indexes a differently sized RQ Array: shape check fails.
+	if _, err := BuildWithModel(rs, quickSRAMOnly(), trained.Model(), false); err == nil {
+		t.Fatal("mismatched model accepted")
+	}
+	// Nil model.
+	if _, err := BuildWithModel(rs, quickSRAMOnly(), nil, false); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	// Bad bucket size.
+	good, err := Build(rs, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := quickSRAMOnly()
+	bad.BucketSize = 1
+	if _, err := BuildWithModel(rs, bad, good.Model(), false); err == nil {
+		t.Fatal("bucket size 1 accepted")
+	}
+}
+
+func TestBuildWithModelVerifyCatchesCorruption(t *testing.T) {
+	rs := randomRuleSet(t, 20, 300, 44)
+	trained, err := Build(rs, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trained.Model()
+	// Corrupt the error bounds.
+	last := len(m.Stages) - 1
+	sabotaged := false
+	for j := range m.Stages[last] {
+		if m.Stages[last][j].Err > 0 {
+			m.Stages[last][j].Err = 0
+			sabotaged = true
+		}
+	}
+	if !sabotaged {
+		t.Skip("zero-error model; nothing to corrupt")
+	}
+	if _, err := BuildWithModel(rs, quickSRAMOnly(), m, true); err == nil {
+		t.Fatal("corrupted model passed verification")
+	}
+	// Without verification the shape check alone accepts it — documenting
+	// why the verify flag exists.
+	if _, err := BuildWithModel(rs, quickSRAMOnly(), m, false); err != nil {
+		t.Fatalf("shape-only path rejected a shape-valid model: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+)
+
+// Chain models the policy-based-routing pattern of App 2 (§3.1): virtual
+// switches such as Open vSwitch evaluate several rule tables sequentially,
+// so one packet issues multiple dependent LPM queries. Each stage matches
+// on a key derived from the packet and the previous stage's action; the
+// per-stage latency bound of the engine (R3) is what keeps the chain's
+// total latency within the few-µs budget of production NICs.
+type Chain struct {
+	stages []ChainStage
+}
+
+// ChainStage is one table in the chain.
+type ChainStage struct {
+	Name    string
+	Matcher lpm.Matcher
+	// NextKey derives the key for the following stage from the current key
+	// and this stage's matched action. A nil NextKey forwards the key
+	// unchanged.
+	NextKey func(k keys.Value, action uint64) keys.Value
+}
+
+// NewChain builds a chain of at least one stage.
+func NewChain(stages ...ChainStage) (*Chain, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("core: empty chain")
+	}
+	for i, s := range stages {
+		if s.Matcher == nil {
+			return nil, fmt.Errorf("core: chain stage %d (%q) has no matcher", i, s.Name)
+		}
+	}
+	return &Chain{stages: append([]ChainStage(nil), stages...)}, nil
+}
+
+// Len returns the number of stages.
+func (c *Chain) Len() int { return len(c.stages) }
+
+// ChainResult records one packet's walk through the chain.
+type ChainResult struct {
+	Actions []uint64 // per-stage matched actions (up to the miss, if any)
+	Matched bool     // true when every stage matched
+	Misses  int      // index of the first stage that missed, or -1
+}
+
+// Lookup evaluates the chain: stage i+1's key derives from stage i's
+// result. Evaluation stops at the first miss, mirroring a virtual switch
+// dropping to its slow path.
+func (c *Chain) Lookup(k keys.Value) ChainResult {
+	res := ChainResult{Misses: -1}
+	cur := k
+	for i, s := range c.stages {
+		action, ok := s.Matcher.Lookup(cur)
+		if !ok {
+			res.Misses = i
+			return res
+		}
+		res.Actions = append(res.Actions, action)
+		if s.NextKey != nil {
+			cur = s.NextKey(cur, action)
+		}
+	}
+	res.Matched = true
+	return res
+}

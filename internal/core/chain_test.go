@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+)
+
+func chainEngine(t *testing.T, rules []lpm.Rule) *Engine {
+	t.Helper()
+	rs, err := lpm.NewRuleSet(16, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Build(rs, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestChainTwoStages(t *testing.T) {
+	// Stage 1: classify by source "zone" (action = zone id).
+	zones := chainEngine(t, []lpm.Rule{
+		{Prefix: keys.FromUint64(0x1000), Len: 4, Action: 1},
+		{Prefix: keys.FromUint64(0x2000), Len: 4, Action: 2},
+	})
+	// Stage 2: route within the zone (key rewritten to zone<<12 | low bits).
+	routes := chainEngine(t, []lpm.Rule{
+		{Prefix: keys.FromUint64(0x1000), Len: 8, Action: 100},
+		{Prefix: keys.FromUint64(0x2000), Len: 8, Action: 200},
+	})
+	chain, err := NewChain(
+		ChainStage{Name: "zone", Matcher: zones, NextKey: func(k keys.Value, action uint64) keys.Value {
+			return keys.FromUint64(action<<12 | k.Uint64()&0xFF)
+		}},
+		ChainStage{Name: "route", Matcher: routes},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := chain.Lookup(keys.FromUint64(0x1ABC))
+	if !res.Matched || len(res.Actions) != 2 || res.Actions[0] != 1 || res.Actions[1] != 100 {
+		t.Fatalf("chain result %+v", res)
+	}
+	res = chain.Lookup(keys.FromUint64(0x2ABC))
+	if !res.Matched || res.Actions[1] != 200 {
+		t.Fatalf("chain result %+v", res)
+	}
+}
+
+func TestChainMissStopsEvaluation(t *testing.T) {
+	first := chainEngine(t, []lpm.Rule{
+		{Prefix: keys.FromUint64(0x1000), Len: 4, Action: 1},
+	})
+	second := chainEngine(t, []lpm.Rule{
+		{Prefix: keys.FromUint64(0), Len: 0, Action: 9},
+	})
+	chain, err := NewChain(
+		ChainStage{Name: "a", Matcher: first},
+		ChainStage{Name: "b", Matcher: second},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := chain.Lookup(keys.FromUint64(0xF000))
+	if res.Matched || res.Misses != 0 || len(res.Actions) != 0 {
+		t.Fatalf("miss result %+v", res)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := NewChain(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := NewChain(ChainStage{Name: "x"}); err == nil {
+		t.Fatal("nil matcher accepted")
+	}
+}
+
+func TestChainDefaultKeyForwarding(t *testing.T) {
+	e := chainEngine(t, []lpm.Rule{
+		{Prefix: keys.FromUint64(0x1000), Len: 4, Action: 1},
+	})
+	chain, err := NewChain(
+		ChainStage{Name: "a", Matcher: e},
+		ChainStage{Name: "b", Matcher: e},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := chain.Lookup(keys.FromUint64(0x1234))
+	if !res.Matched || res.Actions[0] != res.Actions[1] {
+		t.Fatalf("key not forwarded unchanged: %+v", res)
+	}
+}

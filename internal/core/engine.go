@@ -1,0 +1,367 @@
+// Package core implements the NeuroLPM engine — the paper's primary
+// contribution (§4): an LPM engine whose query path is RQRMI inference
+// followed by a bounded secondary search, with optional bucketization to
+// scale past on-chip SRAM.
+//
+// Build performs the offline rule-set preparation stage:
+//
+//  1. conversion of LPM rules into a sorted range array (§5.1),
+//  2. optional bucketization when the array exceeds the SRAM budget (§7),
+//  3. RQRMI training over the SRAM-resident RQ Array.
+//
+// Lookup executes the online query path of Figure 3: inference → secondary
+// search → (bucketized designs only) one bucket fetch from DRAM → bucket
+// search.
+package core
+
+import (
+	"fmt"
+
+	"neurolpm/internal/bucket"
+	"neurolpm/internal/cachesim"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/ranges"
+	"neurolpm/internal/rqrmi"
+)
+
+// Config configures an engine build.
+type Config struct {
+	// BucketSize is the number of ranges per bucket. Zero selects the
+	// SRAM-only design (the whole range array is the RQ Array). The paper's
+	// DRAM evaluation uses 32-byte buckets, i.e. 8 ranges of 4 bytes.
+	BucketSize int
+	// Model configures RQRMI training; the zero value selects
+	// rqrmi.DefaultConfig.
+	Model rqrmi.Config
+}
+
+// DefaultConfig returns the paper's evaluated configuration: 32-byte buckets
+// (8 × 4-byte ranges) and the 1/4/64 RQRMI model.
+func DefaultConfig() Config {
+	return Config{BucketSize: 8, Model: rqrmi.DefaultConfig()}
+}
+
+// SRAMOnlyConfig returns the SRAM-only design (§6): no bucketization.
+func SRAMOnlyConfig() Config {
+	return Config{Model: rqrmi.DefaultConfig()}
+}
+
+// Engine is a built NeuroLPM engine. It is safe for concurrent lookups;
+// updates require external synchronization (the hardware analogue swaps
+// whole engine instances atomically, §6.5).
+type Engine struct {
+	cfg   Config
+	width int
+	rules *lpm.RuleSet
+	live  []bool // tombstones for deleted rules (parallel to rules.Rules)
+	ra    *ranges.Array
+	dir   *bucket.Directory // nil in the SRAM-only design
+	model *rqrmi.Model
+	stats *rqrmi.Stats
+	trie  *lpm.Trie // lazily built on first Delete; indexes e.rules.Rules
+}
+
+// Build runs the offline preparation stage on the rule-set.
+func Build(rs *lpm.RuleSet, cfg Config) (*Engine, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("core: nil rule-set")
+	}
+	if cfg.Model.StageWidths == nil {
+		cfg.Model = rqrmi.DefaultConfig()
+	}
+	if cfg.BucketSize == 1 || cfg.BucketSize < 0 {
+		return nil, fmt.Errorf("core: invalid bucket size %d", cfg.BucketSize)
+	}
+	ra, err := ranges.Convert(rs)
+	if err != nil {
+		return nil, fmt.Errorf("core: range conversion: %w", err)
+	}
+	e := &Engine{
+		cfg:   cfg,
+		width: rs.Width,
+		rules: rs.Clone(),
+		live:  make([]bool, rs.Len()),
+		ra:    ra,
+	}
+	for i := range e.live {
+		e.live[i] = true
+	}
+	var ix rqrmi.Index = ra
+	if cfg.BucketSize >= 2 {
+		d, err := bucket.Build(ra, cfg.BucketSize)
+		if err != nil {
+			return nil, err
+		}
+		e.dir = d
+		ix = d
+	}
+	model, stats, err := rqrmi.Train(ix, rs.Width, cfg.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: training: %w", err)
+	}
+	e.model = model
+	e.stats = stats
+	return e, nil
+}
+
+// BuildWithModel assembles an engine around a previously trained and
+// serialized model, skipping training — the deployment path where the
+// control plane trains once and ships the model to the data plane (§6.5).
+// The model must have been trained on exactly the RQ Array this rule-set
+// and bucket size produce; a cheap shape check rejects mismatches and a
+// full analytical verification can be requested.
+func BuildWithModel(rs *lpm.RuleSet, cfg Config, m *rqrmi.Model, verify bool) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if cfg.BucketSize == 1 || cfg.BucketSize < 0 {
+		return nil, fmt.Errorf("core: invalid bucket size %d", cfg.BucketSize)
+	}
+	ra, err := ranges.Convert(rs)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		width: rs.Width,
+		rules: rs.Clone(),
+		live:  make([]bool, rs.Len()),
+		ra:    ra,
+		model: m,
+	}
+	for i := range e.live {
+		e.live[i] = true
+	}
+	var ix rqrmi.Index = ra
+	if cfg.BucketSize >= 2 {
+		d, err := bucket.Build(ra, cfg.BucketSize)
+		if err != nil {
+			return nil, err
+		}
+		e.dir = d
+		ix = d
+	}
+	if m.Width != rs.Width || m.N != ix.Len() {
+		return nil, fmt.Errorf("core: model shape (width %d, N %d) does not match RQ Array (width %d, N %d)",
+			m.Width, m.N, rs.Width, ix.Len())
+	}
+	if verify {
+		if ok, witness := m.Verify(ix); !ok {
+			return nil, fmt.Errorf("core: model error bound violated at key %v", witness)
+		}
+	}
+	return e, nil
+}
+
+// Width returns the key bit width.
+func (e *Engine) Width() int { return e.width }
+
+// Model exposes the trained RQRMI model (read-only use).
+func (e *Engine) Model() *rqrmi.Model { return e.model }
+
+// TrainStats returns statistics from the build's training phase.
+func (e *Engine) TrainStats() *rqrmi.Stats { return e.stats }
+
+// Ranges exposes the underlying range array (read-only use).
+func (e *Engine) Ranges() *ranges.Array { return e.ra }
+
+// Directory returns the bucket directory, or nil for SRAM-only engines.
+func (e *Engine) Directory() *bucket.Directory { return e.dir }
+
+// Bucketized reports whether the engine uses the DRAM design.
+func (e *Engine) Bucketized() bool { return e.dir != nil }
+
+// Lookup returns the action of the longest-prefix rule matching k.
+// ok is false when no live rule matches.
+func (e *Engine) Lookup(k keys.Value) (action uint64, ok bool) {
+	tr := e.LookupMem(k, cachesim.Null{})
+	return tr.Action, tr.Matched
+}
+
+// Trace describes one query's path through the engine, in the units the
+// paper's evaluation reports.
+type Trace struct {
+	Prediction rqrmi.Prediction
+	SRAMProbes int  // secondary-search probes into the RQ Array (SRAM)
+	BucketRead bool // whether a DRAM bucket fetch was needed
+	DRAMBytes  int  // bytes requested from DRAM (before caching)
+	RangeIndex int  // resolved index in the full range array
+	Action     uint64
+	Matched    bool
+}
+
+// LookupMem executes the query, routing any DRAM-resident accesses through
+// mem (a cache or traffic counter). For the SRAM-only design no accesses are
+// issued. The returned trace carries the per-query statistics.
+func (e *Engine) LookupMem(k keys.Value, mem cachesim.Mem) Trace {
+	var tr Trace
+	tr.Prediction = e.model.Predict(k)
+	if e.dir == nil {
+		idx, probes := e.model.Lookup(e.ra, k)
+		tr.SRAMProbes = probes
+		tr.RangeIndex = idx
+	} else {
+		b, probes := e.model.Lookup(e.dir, k)
+		tr.SRAMProbes = probes
+		addr, size := e.dir.DRAMAddr(b)
+		mem.Read(addr, size)
+		tr.BucketRead = true
+		tr.DRAMBytes = size
+		tr.RangeIndex, _ = e.dir.Search(b, k)
+	}
+	tr.Action, tr.Matched = e.resolve(tr.RangeIndex)
+	return tr
+}
+
+// resolve maps a range index to its action, honouring tombstones.
+func (e *Engine) resolve(rangeIdx int) (uint64, bool) {
+	r := e.ra.RuleOf(rangeIdx)
+	if r == ranges.NoRule || !e.live[r] {
+		return 0, false
+	}
+	return e.ra.Action(rangeIdx)
+}
+
+// ModifyAction changes the action of an installed rule without retraining
+// (§6.5: action modification touches only the RQ-array metadata).
+func (e *Engine) ModifyAction(prefix keys.Value, length int, action uint64) error {
+	idx := e.rules.Find(prefix, length)
+	if idx == lpm.NoMatch || !e.live[idx] {
+		return fmt.Errorf("core: rule %s/%d not installed", prefix, length)
+	}
+	e.rules.Rules[idx].Action = action
+	e.ra.SetAction(int32(idx), action)
+	return nil
+}
+
+// Delete removes a rule without retraining (§6.5): the affected RQ-array
+// entries are re-owned by the next-longest live rule. Range boundaries stay
+// as they were — they remain a valid (finer-than-necessary) partition.
+//
+// The first deletion builds a trie over the installed rules (O(rules));
+// every deletion after that costs only the tombstone-aware re-own of the
+// doomed rule's ranges, which is how the paper keeps deletions off the
+// retraining path.
+func (e *Engine) Delete(prefix keys.Value, length int) error {
+	idx := e.rules.Find(prefix, length)
+	if idx == lpm.NoMatch || !e.live[idx] {
+		return fmt.Errorf("core: rule %s/%d not installed", prefix, length)
+	}
+	e.live[idx] = false
+	if e.trie == nil {
+		e.trie = lpm.NewTrie(e.rules)
+	}
+	alive := func(r int32) bool { return e.live[r] }
+
+	// Re-own every range that pointed at the deleted rule. Within one range
+	// no rule begins or ends (all rule bounds are range boundaries), so the
+	// new owner is uniform across the range: query its lower bound. The
+	// doomed rule's ranges are found by searching its covered span.
+	doomed := int32(idx)
+	r := lpm.Rule{Prefix: prefix, Len: length}
+	first := e.ra.Find(r.Low(e.width))
+	last := e.ra.Find(r.High(e.width))
+	for i := first; i <= last; i++ {
+		if e.ra.Entries[i].Rule != doomed {
+			continue
+		}
+		o := e.trie.LookupWhere(e.ra.Entries[i].Low, alive)
+		if o == lpm.NoMatch {
+			e.ra.Entries[i].Rule = ranges.NoRule
+		} else {
+			e.ra.Entries[i].Rule = int32(o)
+		}
+	}
+	return nil
+}
+
+// InsertBatch commits a batch of new rules by rebuilding the engine —
+// insertion requires full retraining (§6.5). Deleted rules are dropped; the
+// receiver is left untouched, so callers can swap engines atomically.
+func (e *Engine) InsertBatch(newRules []lpm.Rule) (*Engine, error) {
+	merged := make([]lpm.Rule, 0, e.rules.Len()+len(newRules))
+	for i, r := range e.rules.Rules {
+		if e.live[i] {
+			merged = append(merged, r)
+		}
+	}
+	merged = append(merged, newRules...)
+	rs, err := lpm.NewRuleSet(e.width, merged)
+	if err != nil {
+		return nil, err
+	}
+	return Build(rs, e.cfg)
+}
+
+// SRAMUsage itemizes the engine's on-chip memory demand in bytes.
+type SRAMUsage struct {
+	Model   int // RQRMI parameter buffers
+	RQArray int // range array (SRAM-only) or bucket directory
+	Total   int
+}
+
+// SRAMUsage reports the engine's static SRAM footprint. Any remaining SRAM
+// budget is available as a DRAM cache (§6.5, §8).
+func (e *Engine) SRAMUsage() SRAMUsage {
+	u := SRAMUsage{Model: e.model.SizeBytes()}
+	if e.dir != nil {
+		u.RQArray = e.dir.SizeBytes()
+	} else {
+		u.RQArray = e.ra.SizeBytes()
+	}
+	u.Total = u.Model + u.RQArray
+	return u
+}
+
+// DRAMFootprint returns the off-chip bytes of the bucket array (zero for
+// SRAM-only engines).
+func (e *Engine) DRAMFootprint() int {
+	if e.dir == nil {
+		return 0
+	}
+	return e.ra.SizeBytes()
+}
+
+// WorstCaseDRAMAccesses returns the deterministic per-query DRAM access
+// bound: one bucket fetch for bucketized engines, zero otherwise (§10.2).
+func (e *Engine) WorstCaseDRAMAccesses() int {
+	if e.dir == nil {
+		return 0
+	}
+	return 1
+}
+
+// Verify re-derives the model's error bounds analytically and checks the
+// engine end to end on every range boundary. It is expensive; intended for
+// tests and offline validation.
+func (e *Engine) Verify() error {
+	var ix rqrmi.Index = e.ra
+	if e.dir != nil {
+		ix = e.dir
+	}
+	if ok, witness := e.model.Verify(ix); !ok {
+		return fmt.Errorf("core: model error bound violated at key %v", witness)
+	}
+	liveRules := make([]lpm.Rule, 0, e.rules.Len())
+	for i, r := range e.rules.Rules {
+		if e.live[i] {
+			liveRules = append(liveRules, r)
+		}
+	}
+	liveSet, err := lpm.NewRuleSet(e.width, liveRules)
+	if err != nil {
+		return err
+	}
+	oracle := lpm.NewTrieMatcher(liveSet)
+	for i := range e.ra.Entries {
+		k := e.ra.Entries[i].Low
+		got, gotOK := e.Lookup(k)
+		want, wantOK := oracle.Lookup(k)
+		if gotOK != wantOK || (gotOK && got != want) {
+			return fmt.Errorf("core: mismatch at %v: engine (%d,%v) oracle (%d,%v)",
+				k, got, gotOK, want, wantOK)
+		}
+	}
+	return nil
+}

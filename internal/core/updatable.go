@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+)
+
+// Updatable wraps an Engine with the two §6.5 mechanisms that make rule
+// insertion practical on a retraining-based engine:
+//
+//   - a delta buffer — the software analogue of the small TCAM the paper
+//     proposes ("a small TCAM with 10K entries can support 33K–100K updates
+//     per second") — absorbs insertions immediately: queries consult the
+//     buffer alongside the engine and the longer prefix wins;
+//   - atomic commit — Commit retrains a fresh engine over the merged
+//     rule-set off the query path and swaps it in atomically, the
+//     concurrent-versions scheme of the paper's atomicity discussion.
+//
+// Lookups are wait-free with respect to Commit (they read an atomic engine
+// pointer); insertions and commits serialize among themselves.
+type Updatable struct {
+	engine atomic.Pointer[Engine]
+
+	mu       sync.Mutex // guards delta and commit
+	capacity int
+	delta    *deltaBuffer
+}
+
+// DefaultDeltaCapacity mirrors the 10K-entry TCAM the paper cites as the
+// realistic delta-buffer size (NVIDIA production switches use such TCAMs).
+const DefaultDeltaCapacity = 10000
+
+// NewUpdatable wraps a built engine. capacity ≤ 0 selects
+// DefaultDeltaCapacity.
+func NewUpdatable(e *Engine, capacity int) *Updatable {
+	if capacity <= 0 {
+		capacity = DefaultDeltaCapacity
+	}
+	u := &Updatable{capacity: capacity, delta: newDeltaBuffer(e.Width())}
+	u.engine.Store(e)
+	return u
+}
+
+// Engine returns the current live engine (for stats and verification).
+func (u *Updatable) Engine() *Engine { return u.engine.Load() }
+
+// PendingInserts returns the number of rules waiting in the delta buffer.
+func (u *Updatable) PendingInserts() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.delta.len()
+}
+
+// Lookup consults the delta buffer and the main engine and returns the
+// longer-prefix match, exactly as a TCAM stage in front of the engine
+// would.
+func (u *Updatable) Lookup(k keys.Value) (uint64, bool) {
+	e := u.engine.Load()
+	// The delta read takes the mutex: the buffer is tiny, and insertion
+	// latency is the quantity being optimized, not query concurrency with
+	// inserts (hardware gives the TCAM its own port).
+	u.mu.Lock()
+	dAction, dLen, dOK := u.delta.lookup(k)
+	u.mu.Unlock()
+	tr := e.LookupMem(k, nullMem{})
+	if !tr.Matched {
+		if dOK {
+			return dAction, true
+		}
+		return 0, false
+	}
+	if dOK {
+		// Compare prefix lengths: the engine's match length is the rule's.
+		r := e.ra.RuleOf(tr.RangeIndex)
+		if r >= 0 && e.rules.Rules[r].Len < dLen {
+			return dAction, true
+		}
+	}
+	return tr.Action, tr.Matched
+}
+
+// nullMem avoids importing cachesim here just for the no-op reader.
+type nullMem struct{}
+
+func (nullMem) Read(uint64, int) {}
+
+// Insert places a rule in the delta buffer. It fails when the buffer is
+// full — the caller should Commit — or when the rule already exists.
+func (u *Updatable) Insert(r lpm.Rule) error {
+	e := u.engine.Load()
+	if err := r.Validate(e.Width()); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.delta.len() >= u.capacity {
+		return fmt.Errorf("core: delta buffer full (%d rules); commit first", u.capacity)
+	}
+	if e.rules.Find(r.Prefix, r.Len) != lpm.NoMatch {
+		if idx := e.rules.Find(r.Prefix, r.Len); e.live[idx] {
+			return fmt.Errorf("core: rule %s/%d already installed", r.Prefix, r.Len)
+		}
+	}
+	return u.delta.insert(r)
+}
+
+// ModifyAction and Delete pass through to the engine's no-retrain paths
+// (checking the delta buffer first for not-yet-committed rules).
+func (u *Updatable) ModifyAction(prefix keys.Value, length int, action uint64) error {
+	u.mu.Lock()
+	if u.delta.modify(prefix, length, action) {
+		u.mu.Unlock()
+		return nil
+	}
+	u.mu.Unlock()
+	return u.engine.Load().ModifyAction(prefix, length, action)
+}
+
+// Delete removes a rule from the delta buffer or, failing that, from the
+// live engine (no retraining either way).
+func (u *Updatable) Delete(prefix keys.Value, length int) error {
+	u.mu.Lock()
+	if u.delta.remove(prefix, length) {
+		u.mu.Unlock()
+		return nil
+	}
+	u.mu.Unlock()
+	return u.engine.Load().Delete(prefix, length)
+}
+
+// Commit retrains an engine over the merged rule-set and swaps it in
+// atomically, draining the delta buffer. Queries proceed against the old
+// engine for the whole duration (§6.5: both versions coexist; free SRAM
+// doubles as cache in hardware, so the transient costs bandwidth, not
+// downtime).
+func (u *Updatable) Commit() error {
+	u.mu.Lock()
+	pending := u.delta.rules()
+	u.mu.Unlock()
+
+	// Retrain off the lock: lookups and even further inserts may proceed.
+	next, err := u.engine.Load().InsertBatch(pending)
+	if err != nil {
+		return err
+	}
+
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	// Remove exactly the committed rules from the buffer; rules inserted
+	// during retraining stay pending for the next commit.
+	for _, r := range pending {
+		u.delta.remove(r.Prefix, r.Len)
+	}
+	u.engine.Store(next)
+	return nil
+}
+
+// deltaBuffer is a small overlay rule store with longest-prefix lookup. At
+// TCAM-like sizes (≤10K rules) a per-length exact-match probe is plenty.
+type deltaBuffer struct {
+	width int
+	byLen map[int]map[keys.Value]uint64
+	total int
+}
+
+func newDeltaBuffer(width int) *deltaBuffer {
+	return &deltaBuffer{width: width, byLen: map[int]map[keys.Value]uint64{}}
+}
+
+func (d *deltaBuffer) len() int { return d.total }
+
+func (d *deltaBuffer) insert(r lpm.Rule) error {
+	t, ok := d.byLen[r.Len]
+	if !ok {
+		t = map[keys.Value]uint64{}
+		d.byLen[r.Len] = t
+	}
+	if _, dup := t[r.Prefix]; dup {
+		return fmt.Errorf("core: rule %s/%d already pending", r.Prefix, r.Len)
+	}
+	t[r.Prefix] = r.Action
+	d.total++
+	return nil
+}
+
+func (d *deltaBuffer) remove(prefix keys.Value, length int) bool {
+	t, ok := d.byLen[length]
+	if !ok {
+		return false
+	}
+	if _, ok := t[prefix]; !ok {
+		return false
+	}
+	delete(t, prefix)
+	d.total--
+	return true
+}
+
+func (d *deltaBuffer) modify(prefix keys.Value, length int, action uint64) bool {
+	t, ok := d.byLen[length]
+	if !ok {
+		return false
+	}
+	if _, ok := t[prefix]; !ok {
+		return false
+	}
+	t[prefix] = action
+	return true
+}
+
+// lookup returns the longest pending match.
+func (d *deltaBuffer) lookup(k keys.Value) (action uint64, length int, ok bool) {
+	for l := d.width; l >= 0; l-- {
+		t, have := d.byLen[l]
+		if !have {
+			continue
+		}
+		key := k
+		if l < d.width {
+			shift := uint(d.width - l)
+			key = k.Shr(shift).Shl(shift)
+		}
+		if a, hit := t[key]; hit {
+			return a, l, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (d *deltaBuffer) rules() []lpm.Rule {
+	out := make([]lpm.Rule, 0, d.total)
+	for l, t := range d.byLen {
+		for p, a := range t {
+			out = append(out, lpm.Rule{Prefix: p, Len: l, Action: a})
+		}
+	}
+	return out
+}

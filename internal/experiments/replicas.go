@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"neurolpm/internal/core"
+	"neurolpm/internal/hwsim"
+	"neurolpm/internal/workload"
+)
+
+// ReplicasResult reproduces the §10.4 memory-budget argument: NeuroLPM's
+// BRAM footprint is small enough that several engine replicas fit in the
+// memory SAIL alone requires, multiplying aggregate throughput.
+type ReplicasResult struct {
+	NeuroLPMBRAM      int     // bytes per NeuroLPM instance (model + RQ Array)
+	SAILBRAM          int     // bytes of SAIL's tables
+	Replicas          int     // NeuroLPM instances within SAIL's budget
+	SingleMpps        float64 // one 1-engine/16-bank/48-FSM instance at 100MHz
+	AggregateMpps     float64 // replicas × single
+	SAILMpps          float64 // SAIL's best case: 200Mpps at 200MHz (§10.2)
+	SpareBRAMForCache int     // leftover bytes usable as DRAM cache
+}
+
+// Replicas sizes the replication argument on the RIPE-like rule-set using
+// the paper's per-replica configuration (one RQRMI module, 16 banks, 48
+// FSMs).
+func Replicas(sc Scale) (*ReplicasResult, error) {
+	rs, err := workload.Generate(workload.RIPE(), sc.Rules["ripe"], sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.Build(rs, sc.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+	trace, err := workload.GenerateTrace(rs, workload.DefaultTrace(sc.HWTraceLen, sc.Seed+14))
+	if err != nil {
+		return nil, err
+	}
+	cfg := hwsim.Config{Engines: 1, Banks: 16, FSMs: 48, InferenceLatency: 22}
+	res, err := hwsim.Simulate(eng.Model(), eng.Directory(), trace, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplicasResult{
+		NeuroLPMBRAM: eng.SRAMUsage().Total,
+		// SAIL's BRAM demand: its static tables (Table 1 allocates 2439KB).
+		SAILBRAM:   8*1024 + 64*1024 + 128*1024 + 2*1024*1024 + 192*1024,
+		SingleMpps: res.MppsAt(100e6),
+		SAILMpps:   200,
+	}
+	if out.NeuroLPMBRAM > 0 {
+		out.Replicas = out.SAILBRAM / out.NeuroLPMBRAM
+	}
+	if out.Replicas > 4 {
+		// The paper instantiates four replicas and keeps the remainder as
+		// cache; follow that design point.
+		out.Replicas = 4
+	}
+	out.AggregateMpps = float64(out.Replicas) * out.SingleMpps
+	out.SpareBRAMForCache = out.SAILBRAM - out.Replicas*out.NeuroLPMBRAM
+	return out, nil
+}
+
+// ReplicasTable renders the comparison.
+func ReplicasTable(r *ReplicasResult) *Table {
+	return &Table{
+		Title:  "§10.4: NeuroLPM replicas within SAIL's memory budget",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"NeuroLPM BRAM per instance [KB]", fi(r.NeuroLPMBRAM / 1024)},
+			{"SAIL BRAM [KB]", fi(r.SAILBRAM / 1024)},
+			{"replicas in SAIL's budget", fi(r.Replicas)},
+			{"single replica [Mpps @100MHz]", f1(r.SingleMpps)},
+			{"aggregate [Mpps @100MHz]", f1(r.AggregateMpps)},
+			{"SAIL best case [Mpps @200MHz]", f1(r.SAILMpps)},
+			{"spare BRAM for cache [KB]", fi(r.SpareBRAMForCache / 1024)},
+		},
+		Notes: []string{"paper: four replicas reach 400Mpps at 100MHz, 2x SAIL at 200MHz, with 279KB spare"},
+	}
+}

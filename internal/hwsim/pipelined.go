@@ -1,0 +1,181 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/rqrmi"
+)
+
+// This file models the design alternative the paper weighed against the FSM
+// pool (§6.2): "a pipelined design where each stage performs a single access
+// to the RQ Array, with ⌈log e⌉ number of stages". The paper chose FSMs for
+// simplicity; simulating both makes the trade-off concrete: the pipeline is
+// deterministic and simple to reason about, but every stage must access a
+// bank each cycle, so a single bank conflict stalls the whole pipeline,
+// and its depth must cover the *worst-case* error bound while FSMs pay the
+// per-query cost.
+
+// PipelinedConfig configures the staged secondary-search design.
+type PipelinedConfig struct {
+	Engines          int // RQRMI inference pipelines feeding the search
+	Banks            int // power of two
+	InferenceLatency int
+	// Stages is the search-pipeline depth. Zero derives it from the model:
+	// ⌈log₂(2·maxErr+1)⌉ — enough for any query of the trained model.
+	Stages int
+}
+
+// PipelinedResult is the staged design's outcome.
+type PipelinedResult struct {
+	Queries      int
+	Cycles       uint64
+	Stages       int
+	StallCycles  uint64 // cycles the whole pipeline held for a bank conflict
+	BankAccesses uint64
+	Latencies    []uint32
+}
+
+// Throughput returns average queries per cycle.
+func (r *PipelinedResult) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Queries) / float64(r.Cycles)
+}
+
+// AvgLatency returns the mean end-to-end latency in cycles.
+func (r *PipelinedResult) AvgLatency() float64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, l := range r.Latencies {
+		s += float64(l)
+	}
+	return s / float64(len(r.Latencies))
+}
+
+// stagesFor returns ⌈log₂(2e+1)⌉ for the model's worst error bound.
+func stagesFor(m *rqrmi.Model) int {
+	window := 2*m.MaxErr() + 1
+	s := 0
+	for v := 1; v < window; v <<= 1 {
+		s++
+	}
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// SimulatePipelined runs the staged secondary-search design: queries move
+// through the stage registers in lockstep, one binary-search step per
+// stage. All stages issue their bank request in the same cycle; any
+// conflict (two stages on one bank) stalls the whole pipeline for the extra
+// cycles, which is exactly why the paper's analysis favours decoupled FSMs
+// under bursty bank collision patterns.
+func SimulatePipelined(m *rqrmi.Model, ix rqrmi.Index, trace []keys.Value, cfg PipelinedConfig) (*PipelinedResult, error) {
+	if cfg.Engines < 1 || cfg.Engines > 2 {
+		return nil, fmt.Errorf("hwsim: engines must be 1 or 2, got %d", cfg.Engines)
+	}
+	if cfg.Banks < 1 || cfg.Banks&(cfg.Banks-1) != 0 {
+		return nil, fmt.Errorf("hwsim: banks must be a positive power of two, got %d", cfg.Banks)
+	}
+	if cfg.InferenceLatency < 1 {
+		return nil, fmt.Errorf("hwsim: inference latency must be positive")
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("hwsim: empty trace")
+	}
+	stages := cfg.Stages
+	if stages <= 0 {
+		stages = stagesFor(m)
+	}
+	res := &PipelinedResult{
+		Queries:   len(trace),
+		Stages:    stages,
+		Latencies: make([]uint32, len(trace)),
+	}
+
+	// A slot in the search pipeline: a query with its live search bounds.
+	type slot struct {
+		query   int
+		lo, hi  int
+		key     keys.Value
+		entered uint64 // cycle the query entered the search pipeline
+	}
+	pipe := make([]*slot, stages)
+	next := 0
+	done := 0
+	var cycle uint64
+
+	// The inference engines feed the search pipeline one query per engine
+	// per cycle (modeled as a fixed delay: the engines are fully pipelined
+	// and, unlike the FSM design, never back-pressured — the search
+	// pipeline accepts a fixed number per cycle). With 2 engines the search
+	// pipeline would need two issue ports; the paper's staged design is
+	// single-issue, so engines beyond the first only help hide inference
+	// latency. We model single issue per cycle.
+	for done < len(trace) {
+		cycle++
+		// All occupied stages want one bank access this cycle. Count the
+		// worst per-bank contention: the pipeline stalls until every
+		// request is served (conflicts serialize).
+		bankLoad := make(map[int]int, stages)
+		for _, s := range pipe {
+			if s == nil || s.lo >= s.hi {
+				continue
+			}
+			mid := (s.lo + s.hi + 1) / 2
+			bankLoad[mid&(cfg.Banks-1)]++
+		}
+		worst := 0
+		for _, n := range bankLoad {
+			if n > worst {
+				worst = n
+			}
+			res.BankAccesses += uint64(n)
+		}
+		if worst > 1 {
+			// Extra cycles to drain the most contended bank.
+			res.StallCycles += uint64(worst - 1)
+			cycle += uint64(worst - 1)
+		}
+		// Perform every stage's search step.
+		for _, s := range pipe {
+			if s == nil || s.lo >= s.hi {
+				continue
+			}
+			mid := (s.lo + s.hi + 1) / 2
+			if s.key.Less(ix.Low(mid)) {
+				s.hi = mid - 1
+			} else {
+				s.lo = mid
+			}
+		}
+		// Retire the last stage; shift; inject a new query. End-to-end
+		// latency adds the inference pipeline depth in front of the search.
+		if s := pipe[stages-1]; s != nil {
+			res.Latencies[s.query] = uint32(cycle - s.entered + uint64(cfg.InferenceLatency))
+			done++
+		}
+		copy(pipe[1:], pipe[:stages-1])
+		pipe[0] = nil
+		if next < len(trace) {
+			k := trace[next]
+			p := m.Predict(k)
+			lo, hi := p.Index-p.Err, p.Index+p.Err
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > ix.Len()-1 {
+				hi = ix.Len() - 1
+			}
+			pipe[0] = &slot{query: next, lo: lo, hi: hi, key: k, entered: cycle}
+			next++
+		}
+	}
+	res.Cycles = cycle
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package hwsim
+
+import "testing"
+
+func TestPipelinedCompletesAll(t *testing.T) {
+	model, ix, trace := buildModel(t, 1500, 20)
+	res, err := SimulatePipelined(model, ix, trace, PipelinedConfig{
+		Engines: 1, Banks: 16, InferenceLatency: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != len(trace) {
+		t.Fatalf("completed %d of %d", res.Queries, len(trace))
+	}
+	for i, l := range res.Latencies {
+		if int(l) < 22+res.Stages {
+			t.Fatalf("query %d latency %d below pipeline floor %d", i, l, 22+res.Stages)
+		}
+	}
+}
+
+func TestPipelinedStagesFromModel(t *testing.T) {
+	model, ix, trace := buildModel(t, 1000, 21)
+	res, err := SimulatePipelined(model, ix, trace, PipelinedConfig{
+		Engines: 1, Banks: 16, InferenceLatency: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stagesFor(model)
+	if res.Stages != want {
+		t.Fatalf("stages = %d, want ⌈log₂(2e+1)⌉ = %d", res.Stages, want)
+	}
+	// The depth must cover the worst query: every search that runs to
+	// completion finishes within the pipeline.
+	for _, k := range trace[:500] {
+		_, probes := model.Lookup(ix, k)
+		if probes > res.Stages {
+			t.Fatalf("software search used %d probes > %d stages", probes, res.Stages)
+		}
+	}
+}
+
+func TestPipelinedThroughputCappedByStalls(t *testing.T) {
+	model, ix, trace := buildModel(t, 1500, 22)
+	res, err := SimulatePipelined(model, ix, trace, PipelinedConfig{
+		Engines: 1, Banks: 16, InferenceLatency: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput := res.Throughput(); tput > 1 {
+		t.Fatalf("single-issue pipeline exceeds 1 q/cyc: %.3f", tput)
+	}
+	// With a single bank the pipeline serializes almost completely.
+	single, err := SimulatePipelined(model, ix, trace, PipelinedConfig{
+		Engines: 1, Banks: 1, InferenceLatency: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Throughput() >= res.Throughput() {
+		t.Fatal("one bank not slower than sixteen")
+	}
+	if single.StallCycles == 0 {
+		t.Fatal("single-bank run recorded no stalls")
+	}
+}
+
+// TestPipelinedVsFSM captures the §6.2 trade-off quantitatively: the FSM
+// design tolerates bank conflicts better (per-query decoupling), so with
+// ample FSMs it should reach at least the staged design's throughput.
+func TestPipelinedVsFSM(t *testing.T) {
+	model, ix, trace := buildModel(t, 2000, 23)
+	staged, err := SimulatePipelined(model, ix, trace, PipelinedConfig{
+		Engines: 1, Banks: 16, InferenceLatency: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm, err := Simulate(model, ix, trace, Config{
+		Engines: 1, Banks: 16, FSMs: 48, InferenceLatency: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsm.Throughput() < staged.Throughput()*0.9 {
+		t.Fatalf("FSM design (%.3f q/c) far below staged design (%.3f q/c)",
+			fsm.Throughput(), staged.Throughput())
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	model, ix, trace := buildModel(t, 500, 24)
+	bad := []PipelinedConfig{
+		{Engines: 0, Banks: 16, InferenceLatency: 22},
+		{Engines: 1, Banks: 12, InferenceLatency: 22},
+		{Engines: 1, Banks: 16, InferenceLatency: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulatePipelined(model, ix, trace, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := SimulatePipelined(model, ix, nil, PipelinedConfig{Engines: 1, Banks: 16, InferenceLatency: 22}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package lpm
+
+import (
+	"fmt"
+
+	"neurolpm/internal/keys"
+)
+
+// PrefixCover decomposes the inclusive key interval [lo, hi] into the
+// minimal set of prefix rules covering exactly that interval, all carrying
+// the given action. This is the classic range-to-prefix expansion used to
+// express range-shaped policies (clustering centroid cells, load-balancing
+// weight slices — paper Apps 3 and 5) as LPM rules; an interval needs at
+// most 2·width−2 prefixes.
+func PrefixCover(width int, lo, hi keys.Value, action uint64) ([]Rule, error) {
+	if hi.Less(lo) {
+		return nil, fmt.Errorf("lpm: inverted interval [%v, %v]", lo, hi)
+	}
+	dom := keys.NewDomain(width)
+	if !dom.Contains(hi) {
+		return nil, fmt.Errorf("lpm: interval exceeds %d-bit domain", width)
+	}
+	var out []Rule
+	cur := lo
+	for {
+		// The largest aligned block starting at cur: limited by cur's
+		// trailing zeros and by the remaining span.
+		size := uint(0) // log2 of block size
+		for int(size) < width {
+			bigger := size + 1
+			// Alignment: cur must have `bigger` trailing zero bits.
+			if cur.Bit(int(size)) != 0 {
+				break
+			}
+			// Span: block end must not pass hi.
+			blockEnd := cur.Add(keys.FromUint64(1).Shl(bigger)).Dec()
+			if hi.Less(blockEnd) {
+				break
+			}
+			size = bigger
+		}
+		out = append(out, Rule{Prefix: cur, Len: width - int(size), Action: action})
+		blockEnd := cur.Add(keys.FromUint64(1).Shl(size)).Dec()
+		if !blockEnd.Less(hi) {
+			return out, nil
+		}
+		cur = blockEnd.Inc()
+	}
+}

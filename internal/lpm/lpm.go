@@ -1,0 +1,241 @@
+// Package lpm defines the Longest Prefix Match rule model used by NeuroLPM
+// and its baselines: width-bit rules of the form prefix:wildcard with an
+// associated action, plus reference matchers that serve as correctness
+// oracles for the learned engine.
+package lpm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"neurolpm/internal/keys"
+)
+
+// NoMatch is returned by matchers when no rule covers the query.
+const NoMatch = -1
+
+// Rule is an LPM rule: the Len most-significant bits of Prefix are fixed,
+// the remaining Width−Len bits are wildcards. Action is the value associated
+// with the rule; per the paper's clustering application (App 3) it may be
+// any 64-bit integer, not just an 8-bit next-hop index.
+type Rule struct {
+	Prefix keys.Value // wildcard bits must be zero
+	Len    int        // number of fixed (most significant) bits, 0..Width
+	Action uint64
+}
+
+// Low returns the smallest key matched by r in a width-bit domain.
+func (r Rule) Low(width int) keys.Value { return r.Prefix }
+
+// High returns the largest key matched by r in a width-bit domain.
+func (r Rule) High(width int) keys.Value {
+	if r.Len >= width {
+		return r.Prefix
+	}
+	return r.Prefix.Or(keys.MaxValue(width - r.Len))
+}
+
+// Matches reports whether r matches key k in a width-bit domain.
+func (r Rule) Matches(width int, k keys.Value) bool {
+	if r.Len == 0 {
+		return true
+	}
+	shift := uint(width - r.Len)
+	return k.Shr(shift) == r.Prefix.Shr(shift)
+}
+
+// String renders r as "<hex-prefix>/<len> -> <action>".
+func (r Rule) String() string {
+	return fmt.Sprintf("%s/%d -> %d", r.Prefix, r.Len, r.Action)
+}
+
+// Validate checks that r is well-formed for a width-bit rule-set.
+func (r Rule) Validate(width int) error {
+	if r.Len < 0 || r.Len > width {
+		return fmt.Errorf("lpm: rule %v: length %d outside [0,%d]", r, r.Len, width)
+	}
+	if !keys.NewDomain(width).Contains(r.Prefix) {
+		return fmt.Errorf("lpm: rule %v: prefix exceeds %d bits", r, width)
+	}
+	if r.Len < width {
+		wild := keys.MaxValue(width - r.Len)
+		if !r.Prefix.And(wild).IsZero() {
+			return fmt.Errorf("lpm: rule %v: wildcard bits not zero", r)
+		}
+	}
+	return nil
+}
+
+// RuleSet is a collection of LPM rules over a common bit width.
+type RuleSet struct {
+	Width int
+	Rules []Rule
+}
+
+// NewRuleSet validates the rules and returns a rule-set. Duplicate
+// (prefix,len) pairs are rejected: a rule-set maps each prefix to exactly one
+// action.
+func NewRuleSet(width int, rules []Rule) (*RuleSet, error) {
+	if width < 1 || width > 128 {
+		return nil, fmt.Errorf("lpm: invalid width %d", width)
+	}
+	seen := make(map[Rule]struct{}, len(rules))
+	for _, r := range rules {
+		if err := r.Validate(width); err != nil {
+			return nil, err
+		}
+		key := Rule{Prefix: r.Prefix, Len: r.Len}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("lpm: duplicate rule %s/%d", r.Prefix, r.Len)
+		}
+		seen[key] = struct{}{}
+	}
+	rs := &RuleSet{Width: width, Rules: append([]Rule(nil), rules...)}
+	rs.sort()
+	return rs, nil
+}
+
+// sort orders rules by (Low asc, Len asc) so that a covering (shorter)
+// prefix always precedes the prefixes nested inside it — the order required
+// by the range-conversion sweep.
+func (s *RuleSet) sort() {
+	sort.Slice(s.Rules, func(i, j int) bool {
+		a, b := s.Rules[i], s.Rules[j]
+		if c := a.Prefix.Cmp(b.Prefix); c != 0 {
+			return c < 0
+		}
+		return a.Len < b.Len
+	})
+}
+
+// Len returns the number of rules.
+func (s *RuleSet) Len() int { return len(s.Rules) }
+
+// Clone returns a deep copy of the rule-set.
+func (s *RuleSet) Clone() *RuleSet {
+	return &RuleSet{Width: s.Width, Rules: append([]Rule(nil), s.Rules...)}
+}
+
+// Find returns the index of the rule with the given prefix and length, or
+// NoMatch if absent.
+func (s *RuleSet) Find(prefix keys.Value, length int) int {
+	i := sort.Search(len(s.Rules), func(i int) bool {
+		r := s.Rules[i]
+		if c := r.Prefix.Cmp(prefix); c != 0 {
+			return c >= 0
+		}
+		return r.Len >= length
+	})
+	if i < len(s.Rules) && s.Rules[i].Prefix == prefix && s.Rules[i].Len == length {
+		return i
+	}
+	return NoMatch
+}
+
+// LongestMatch returns the index (into Rules) of the longest-prefix rule
+// matching k, or NoMatch. This is the O(n) reference oracle.
+func (s *RuleSet) LongestMatch(k keys.Value) int {
+	best := NoMatch
+	bestLen := -1
+	for i, r := range s.Rules {
+		if r.Len > bestLen && r.Matches(s.Width, k) {
+			best, bestLen = i, r.Len
+		}
+	}
+	return best
+}
+
+// ParseRule parses "prefix/len action" where prefix is a hexadecimal or
+// decimal integer of the domain width, e.g. "0xc0a80000/16 7".
+func ParseRule(width int, line string) (Rule, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return Rule{}, fmt.Errorf("lpm: malformed rule %q (want \"prefix/len action\")", line)
+	}
+	slash := strings.IndexByte(fields[0], '/')
+	if slash < 0 {
+		return Rule{}, fmt.Errorf("lpm: malformed prefix %q (missing /len)", fields[0])
+	}
+	prefix, err := parseValue(fields[0][:slash])
+	if err != nil {
+		return Rule{}, fmt.Errorf("lpm: bad prefix in %q: %w", line, err)
+	}
+	length, err := strconv.Atoi(fields[0][slash+1:])
+	if err != nil {
+		return Rule{}, fmt.Errorf("lpm: bad length in %q: %w", line, err)
+	}
+	action, err := strconv.ParseUint(fields[1], 0, 64)
+	if err != nil {
+		return Rule{}, fmt.Errorf("lpm: bad action in %q: %w", line, err)
+	}
+	r := Rule{Prefix: prefix, Len: length, Action: action}
+	if err := r.Validate(width); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+func parseValue(s string) (keys.Value, error) {
+	// Values up to 64 bits parse directly; longer hex strings split limbs.
+	if strings.HasPrefix(s, "0x") && len(s) > 18 {
+		hexDigits := s[2:]
+		if len(hexDigits) > 32 {
+			return keys.Value{}, errors.New("value exceeds 128 bits")
+		}
+		split := len(hexDigits) - 16
+		hi, err := strconv.ParseUint(hexDigits[:split], 16, 64)
+		if err != nil {
+			return keys.Value{}, err
+		}
+		lo, err := strconv.ParseUint(hexDigits[split:], 16, 64)
+		if err != nil {
+			return keys.Value{}, err
+		}
+		return keys.FromParts(hi, lo), nil
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return keys.Value{}, err
+	}
+	return keys.FromUint64(v), nil
+}
+
+// ParseRuleSet parses one rule per line; blank lines and lines starting with
+// '#' are skipped.
+func ParseRuleSet(width int, text string) (*RuleSet, error) {
+	var rules []Rule
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(width, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return NewRuleSet(width, rules)
+}
+
+// Format renders the rule-set in the textual form accepted by ParseRuleSet.
+func (s *RuleSet) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# width=%d rules=%d\n", s.Width, len(s.Rules))
+	for _, r := range s.Rules {
+		fmt.Fprintf(&b, "%s/%d %d\n", r.Prefix, r.Len, r.Action)
+	}
+	return b.String()
+}
+
+// PrefixHistogram returns the count of rules per prefix length (index 0..Width).
+func (s *RuleSet) PrefixHistogram() []int {
+	h := make([]int, s.Width+1)
+	for _, r := range s.Rules {
+		h[r.Len]++
+	}
+	return h
+}

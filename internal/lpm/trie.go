@@ -1,0 +1,102 @@
+package lpm
+
+import "neurolpm/internal/keys"
+
+// Trie is a binary (unibit) trie over a rule-set: the classic exact LPM
+// structure. It is the fast correctness oracle against which the learned
+// engine and the hardware baselines are verified, and it powers the
+// no-retrain update paths (recomputing the owner of a range after a rule is
+// deleted).
+type Trie struct {
+	width int
+	nodes []trieNode
+}
+
+type trieNode struct {
+	child [2]int32 // 0 = none
+	rule  int32    // index into the source rule slice, or NoMatch
+}
+
+// NewTrie builds a trie from the rule-set. Rule indexes reported by Lookup
+// refer to s.Rules.
+func NewTrie(s *RuleSet) *Trie {
+	t := &Trie{width: s.Width, nodes: make([]trieNode, 1, 2*len(s.Rules)+1)}
+	t.nodes[0] = trieNode{rule: NoMatch}
+	for i, r := range s.Rules {
+		t.insert(r, int32(i))
+	}
+	return t
+}
+
+func (t *Trie) insert(r Rule, idx int32) {
+	cur := int32(0)
+	for depth := 0; depth < r.Len; depth++ {
+		bit := r.Prefix.Bit(t.width - 1 - depth)
+		next := t.nodes[cur].child[bit]
+		if next == 0 {
+			t.nodes = append(t.nodes, trieNode{rule: NoMatch})
+			next = int32(len(t.nodes) - 1)
+			t.nodes[cur].child[bit] = next
+		}
+		cur = next
+	}
+	t.nodes[cur].rule = idx
+}
+
+// Lookup returns the index of the longest-prefix rule matching k, or NoMatch.
+func (t *Trie) Lookup(k keys.Value) int {
+	return t.LookupWhere(k, nil)
+}
+
+// LookupWhere returns the longest-prefix rule matching k among those the
+// accept predicate admits (nil accepts all). It powers tombstone-aware
+// lookups: deleting a rule and re-querying yields the next-longest live
+// match without rebuilding the trie.
+func (t *Trie) LookupWhere(k keys.Value, accept func(rule int32) bool) int {
+	best := int32(NoMatch)
+	cur := int32(0)
+	for depth := 0; ; depth++ {
+		if r := t.nodes[cur].rule; r != NoMatch && (accept == nil || accept(r)) {
+			best = r
+		}
+		if depth >= t.width {
+			break
+		}
+		next := t.nodes[cur].child[k.Bit(t.width-1-depth)]
+		if next == 0 {
+			break
+		}
+		cur = next
+	}
+	return int(best)
+}
+
+// NodeCount returns the number of trie nodes (for space accounting).
+func (t *Trie) NodeCount() int { return len(t.nodes) }
+
+// Matcher is the minimal LPM query interface shared by the oracle, the
+// learned engine, and all baselines. Lookup returns the matched rule's
+// action; ok is false when no rule covers the key.
+type Matcher interface {
+	Lookup(k keys.Value) (action uint64, ok bool)
+}
+
+// TrieMatcher adapts a Trie to the Matcher interface.
+type TrieMatcher struct {
+	Trie  *Trie
+	Rules []Rule
+}
+
+// NewTrieMatcher builds the oracle matcher for a rule-set.
+func NewTrieMatcher(s *RuleSet) *TrieMatcher {
+	return &TrieMatcher{Trie: NewTrie(s), Rules: s.Rules}
+}
+
+// Lookup implements Matcher.
+func (m *TrieMatcher) Lookup(k keys.Value) (uint64, bool) {
+	i := m.Trie.Lookup(k)
+	if i == NoMatch {
+		return 0, false
+	}
+	return m.Rules[i].Action, true
+}

@@ -1,0 +1,398 @@
+package ranges
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+)
+
+func mustConvert(t *testing.T, width int, rules []lpm.Rule) (*lpm.RuleSet, *Array) {
+	t.Helper()
+	s, err := lpm.NewRuleSet(width, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Convert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+// TestPaperConversionExample checks §5.1's example: 5-bit rules r0 = 1000*
+// and r1 = 100** produce ranges 10000–10001 (r0) and 10010–10011 (r1).
+func TestPaperConversionExample(t *testing.T) {
+	s, a := mustConvert(t, 5, []lpm.Rule{
+		{Prefix: keys.FromUint64(0b10000), Len: 4, Action: 0},
+		{Prefix: keys.FromUint64(0b10000), Len: 3, Action: 1},
+	})
+	_ = s
+	// Expected ranges: [0,0b01111]→none, [0b10000,0b10001]→r0,
+	// [0b10010,0b10011]→r1, [0b10100,max]→none.
+	wantLows := []uint64{0, 0b10000, 0b10010, 0b10100}
+	if a.Len() != len(wantLows) {
+		t.Fatalf("got %d ranges: %+v", a.Len(), a.Entries)
+	}
+	for i, w := range wantLows {
+		if a.Entries[i].Low != keys.FromUint64(w) {
+			t.Errorf("range %d low = %v, want %#b", i, a.Entries[i].Low, w)
+		}
+	}
+	if a.Entries[0].Rule != NoRule || a.Entries[3].Rule != NoRule {
+		t.Error("gap ranges should be NoRule")
+	}
+	if act, _ := a.Action(1); act != 0 {
+		t.Errorf("range 1 action = %d", act)
+	}
+	if act, _ := a.Action(2); act != 1 {
+		t.Errorf("range 2 action = %d", act)
+	}
+}
+
+func TestEmptyRuleSet(t *testing.T) {
+	_, a := mustConvert(t, 8, nil)
+	if a.Len() != 1 || a.Entries[0].Rule != NoRule {
+		t.Fatalf("empty conversion = %+v", a.Entries)
+	}
+	if i := a.Find(keys.FromUint64(100)); i != 0 {
+		t.Fatalf("Find = %d", i)
+	}
+}
+
+func TestDefaultRuleOnly(t *testing.T) {
+	_, a := mustConvert(t, 8, []lpm.Rule{{Len: 0, Action: 9}})
+	if a.Len() != 1 {
+		t.Fatalf("ranges = %d", a.Len())
+	}
+	if act, ok := a.Action(0); !ok || act != 9 {
+		t.Fatalf("action = %d,%v", act, ok)
+	}
+}
+
+func TestNestedRules(t *testing.T) {
+	// 0*** ⊃ 00** ⊃ 000* in a 4-bit domain.
+	s, a := mustConvert(t, 4, []lpm.Rule{
+		{Prefix: keys.FromUint64(0b0000), Len: 1, Action: 1},
+		{Prefix: keys.FromUint64(0b0000), Len: 2, Action: 2},
+		{Prefix: keys.FromUint64(0b0000), Len: 3, Action: 3},
+	})
+	oracle := lpm.NewTrie(s)
+	for k := uint64(0); k < 16; k++ {
+		key := keys.FromUint64(k)
+		i := a.Find(key)
+		want := oracle.Lookup(key)
+		if int(a.RuleOf(i)) != want {
+			t.Errorf("key %04b: range rule %d, oracle %d", k, a.RuleOf(i), want)
+		}
+	}
+}
+
+func TestSiblingRules(t *testing.T) {
+	_, a := mustConvert(t, 4, []lpm.Rule{
+		{Prefix: keys.FromUint64(0b0000), Len: 2, Action: 1},
+		{Prefix: keys.FromUint64(0b0100), Len: 2, Action: 2},
+		{Prefix: keys.FromUint64(0b1100), Len: 2, Action: 3},
+	})
+	// Ranges: [0,3]→0, [4,7]→1, [8,11]→none, [12,15]→2.
+	if a.Len() != 4 {
+		t.Fatalf("got %d ranges: %+v", a.Len(), a.Entries)
+	}
+	if a.Entries[2].Rule != NoRule {
+		t.Errorf("middle gap should be NoRule, got %d", a.Entries[2].Rule)
+	}
+}
+
+func TestHighBounds(t *testing.T) {
+	_, a := mustConvert(t, 4, []lpm.Rule{
+		{Prefix: keys.FromUint64(0b0100), Len: 2, Action: 1},
+	})
+	// Ranges: [0,3], [4,7], [8,15].
+	if a.High(0) != keys.FromUint64(3) {
+		t.Errorf("High(0) = %v", a.High(0))
+	}
+	if a.High(1) != keys.FromUint64(7) {
+		t.Errorf("High(1) = %v", a.High(1))
+	}
+	if a.High(2) != keys.MaxValue(4) {
+		t.Errorf("High(2) = %v", a.High(2))
+	}
+}
+
+func TestAdjacentSameRuleMerged(t *testing.T) {
+	// A child with the same action as nothing in between: check no two
+	// consecutive entries share an owner.
+	rng := rand.New(rand.NewSource(3))
+	s := randomRuleSet(rng, 16, 200)
+	a, err := Convert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < a.Len(); i++ {
+		if a.Entries[i].Rule == a.Entries[i-1].Rule {
+			t.Fatalf("entries %d and %d share rule %d", i-1, i, a.Entries[i].Rule)
+		}
+	}
+}
+
+func TestExpansionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		s := randomRuleSet(rng, 32, 300)
+		a, err := Convert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() > 2*s.Len()+1 {
+			t.Fatalf("expansion %d ranges from %d rules exceeds 2n+1", a.Len(), s.Len())
+		}
+	}
+}
+
+func randomRuleSet(rng *rand.Rand, width, n int) *lpm.RuleSet {
+	type pl struct {
+		p keys.Value
+		l int
+	}
+	// Small domains cannot yield n distinct rules; cap by the number of
+	// possible (prefix,len) pairs to keep the dedupe loop finite.
+	if width < 10 {
+		if limit := (1 << (width + 1)) / 2; n > limit {
+			n = limit
+		}
+	}
+	seen := map[pl]bool{}
+	var rules []lpm.Rule
+	for len(rules) < n {
+		length := 1 + rng.Intn(width)
+		var prefix keys.Value
+		if width <= 64 {
+			prefix = keys.FromUint64(rng.Uint64())
+		} else {
+			prefix = keys.FromParts(rng.Uint64(), rng.Uint64())
+		}
+		prefix = prefix.Shr(uint(128 - width)) // confine to width bits... see below
+		if width <= 64 {
+			prefix = keys.FromUint64(rng.Uint64() & (uint64(1)<<(width-1)<<1 - 1))
+		}
+		if length < width {
+			prefix = prefix.Shr(uint(width - length)).Shl(uint(width - length))
+		}
+		k := pl{prefix, length}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		rules = append(rules, lpm.Rule{Prefix: prefix, Len: length, Action: uint64(rng.Intn(100))})
+	}
+	s, err := lpm.NewRuleSet(width, rules)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestOracleEquivalence is the central correctness property of the
+// conversion: for random rule-sets and random keys, the range array must
+// agree with the trie oracle.
+func TestOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, width := range []int{4, 8, 16, 32, 64, 128} {
+		for trial := 0; trial < 5; trial++ {
+			s := randomRuleSet(rng, width, 150)
+			a, err := Convert(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := lpm.NewTrie(s)
+			for q := 0; q < 400; q++ {
+				var k keys.Value
+				if width <= 64 {
+					k = keys.FromUint64(rng.Uint64() & (uint64(1)<<(width-1)<<1 - 1))
+				} else {
+					k = keys.FromParts(rng.Uint64(), rng.Uint64())
+				}
+				got := int(a.RuleOf(a.Find(k)))
+				want := oracle.Lookup(k)
+				if got != want {
+					t.Fatalf("width %d key %v: range %d, oracle %d", width, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleEquivalenceAtBoundaries probes exactly at range boundaries and
+// their neighbours, the most error-prone points of the sweep.
+func TestOracleEquivalenceAtBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := randomRuleSet(rng, 16, 120)
+	a, err := Convert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := lpm.NewTrie(s)
+	check := func(k keys.Value) {
+		got := int(a.RuleOf(a.Find(k)))
+		if want := oracle.Lookup(k); got != want {
+			t.Fatalf("key %v: range %d, oracle %d", k, got, want)
+		}
+	}
+	for i, e := range a.Entries {
+		check(e.Low)
+		check(a.High(i))
+		if !e.Low.IsZero() {
+			check(e.Low.Dec())
+		}
+	}
+}
+
+func TestFindWithinAgreesWithFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomRuleSet(rng, 32, 400)
+	a, err := Convert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 2000; q++ {
+		k := keys.FromUint64(uint64(rng.Uint32()))
+		want := a.Find(k)
+		// Any window containing the answer must locate it.
+		e := rng.Intn(50)
+		got, probes := a.FindWithin(k, want-e, want+e)
+		if got != want {
+			t.Fatalf("FindWithin = %d, want %d", got, want)
+		}
+		if maxProbes := bitsFor(2*e + 1); probes > maxProbes {
+			t.Fatalf("probes %d exceed log bound %d for window %d", probes, maxProbes, 2*e+1)
+		}
+	}
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b + 1
+}
+
+func TestFindWithinClamps(t *testing.T) {
+	_, a := mustConvert(t, 8, []lpm.Rule{
+		{Prefix: keys.FromUint64(0x80), Len: 1, Action: 1},
+	})
+	idx, _ := a.FindWithin(keys.FromUint64(0xFF), -10, 1000)
+	if idx != a.Find(keys.FromUint64(0xFF)) {
+		t.Fatalf("clamped search = %d", idx)
+	}
+}
+
+func TestFindFirstAndLastKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := randomRuleSet(rng, 32, 100)
+	a, err := Convert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := a.Find(keys.Value{}); i != 0 {
+		t.Fatalf("Find(0) = %d", i)
+	}
+	if i := a.Find(keys.MaxValue(32)); i != a.Len()-1 {
+		t.Fatalf("Find(max) = %d, want %d", i, a.Len()-1)
+	}
+}
+
+func TestSetAction(t *testing.T) {
+	s, a := mustConvert(t, 8, []lpm.Rule{
+		{Prefix: keys.FromUint64(0x80), Len: 1, Action: 1},
+	})
+	idx := s.Find(keys.FromUint64(0x80), 1)
+	a.SetAction(int32(idx), 77)
+	r := a.Find(keys.FromUint64(0x90))
+	if act, _ := a.Action(r); act != 77 {
+		t.Fatalf("action after SetAction = %d", act)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	_, a := mustConvert(t, 32, []lpm.Rule{
+		{Prefix: keys.FromUint64(0x80000000), Len: 1, Action: 1},
+	})
+	if a.BytesPerEntry() != 4 {
+		t.Fatalf("BytesPerEntry = %d", a.BytesPerEntry())
+	}
+	if a.SizeBytes() != 4*a.Len() {
+		t.Fatalf("SizeBytes = %d", a.SizeBytes())
+	}
+	_, a = mustConvert(t, 128, []lpm.Rule{
+		{Prefix: keys.FromParts(1<<63, 0), Len: 1, Action: 1},
+	})
+	if a.BytesPerEntry() != 16 {
+		t.Fatalf("128-bit BytesPerEntry = %d", a.BytesPerEntry())
+	}
+}
+
+func TestExpansionStats(t *testing.T) {
+	_, a := mustConvert(t, 4, []lpm.Rule{
+		{Prefix: keys.FromUint64(0b0100), Len: 2, Action: 1},
+	})
+	st := a.Expansion(1)
+	if st.Rules != 1 || st.Ranges != 3 || st.Expansion != 2.0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConversionCoversDomain asserts the first range starts at zero and the
+// lows are strictly increasing — the invariants Find depends on.
+func TestConversionCoversDomain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomRuleSet(rng, 16, 80)
+		a, err := Convert(s)
+		if err != nil {
+			return false
+		}
+		if !a.Entries[0].Low.IsZero() {
+			return false
+		}
+		for i := 1; i < a.Len(); i++ {
+			if !a.Entries[i-1].Low.Less(a.Entries[i].Low) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConvert10K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomRuleSet(rng, 32, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Convert(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := randomRuleSet(rng, 32, 100000)
+	a, err := Convert(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]keys.Value, 1024)
+	for i := range queries {
+		queries[i] = keys.FromUint64(uint64(rng.Uint32()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Find(queries[i&1023])
+	}
+}

@@ -1,0 +1,211 @@
+package rqrmi
+
+import (
+	"neurolpm/internal/keys"
+)
+
+// This file implements the analytical machinery that makes RQRMI queries
+// provably correct (paper §5.2): because every compiled submodel is
+// piecewise-linear with at most nine segments, both the routing performed by
+// internal stages and the prediction error of final-stage submodels can be
+// computed *exactly*, for every possible input, by examining only segment
+// knots and range boundaries — no sweep over the input domain is needed.
+//
+// All evaluations below run the same float32 LUT arithmetic as query-time
+// inference (LUT.Eval + scaleClamp), so the derived responsibilities and
+// error bounds hold for the deployed engine bit-for-bit.
+
+// interval is an inclusive key interval [Lo, Hi].
+type interval struct {
+	Lo, Hi keys.Value
+}
+
+// splitAtKnots partitions [iv.Lo, iv.Hi] into sub-intervals that each map
+// into a single linear segment of the LUT. The split points are the largest
+// keys whose unit coordinate does not exceed each knot — exactly the
+// boundary LUT.Eval uses (u > knot advances to the next segment).
+func splitAtKnots(width int, l *LUT, iv interval) []interval {
+	pieces := make([]interval, 0, len(l.Knots)+1)
+	lo := iv.Lo
+	for _, kn := range l.Knots {
+		if unitOf(width, iv.Hi) <= kn {
+			break // the rest of the interval is below this knot
+		}
+		if unitOf(width, lo) > kn {
+			continue // this knot is below the remaining interval
+		}
+		// Largest key in [lo, iv.Hi] with u(key) ≤ kn. u is monotone
+		// non-decreasing, so this is a plain binary search.
+		a, b := lo, iv.Hi
+		for a.Less(b) {
+			mid := a.Mid(b).Inc() // upper mid so the loop converges upward
+			if unitOf(width, mid) <= kn {
+				a = mid
+			} else {
+				b = mid.Dec()
+			}
+		}
+		pieces = append(pieces, interval{Lo: lo, Hi: a})
+		lo = a.Inc()
+	}
+	pieces = append(pieces, interval{Lo: lo, Hi: iv.Hi})
+	return pieces
+}
+
+// partition splits the given responsibility intervals of a submodel by the
+// slot its output routes to (slot = scaleClamp(Eval(u), n)) and returns the
+// intervals owned by each of the n next-stage submodels. Within a linear
+// segment the routing function is monotone, so every transition is located
+// with a key-space binary search against the real inference arithmetic.
+func partition(width int, l *LUT, n int, ivs []interval) [][]interval {
+	out := make([][]interval, n)
+	route := func(k keys.Value) int {
+		return scaleClamp(l.Eval(unitOf(width, k)), n)
+	}
+	assign := func(slot int, iv interval) {
+		// Merge with the previous interval when contiguous.
+		if m := len(out[slot]); m > 0 && out[slot][m-1].Hi.Inc() == iv.Lo {
+			out[slot][m-1].Hi = iv.Hi
+			return
+		}
+		out[slot] = append(out[slot], iv)
+	}
+	for _, iv := range ivs {
+		for _, piece := range splitAtKnots(width, l, iv) {
+			a := piece.Lo
+			rA := route(a)
+			for {
+				rB := route(piece.Hi)
+				if rA == rB {
+					assign(rA, interval{Lo: a, Hi: piece.Hi})
+					break
+				}
+				// Monotone on the piece: find the largest key still
+				// routed to rA.
+				lo, hi := a, piece.Hi
+				ascending := rB > rA
+				for lo.Less(hi) {
+					mid := lo.Mid(hi).Inc()
+					r := route(mid)
+					same := r == rA
+					if !same && ((ascending && r < rA) || (!ascending && r > rA)) {
+						same = true // float plateaus cannot occur, but stay safe
+					}
+					if same {
+						lo = mid
+					} else {
+						hi = mid.Dec()
+					}
+				}
+				assign(rA, interval{Lo: a, Hi: lo})
+				a = lo.Inc()
+				rA = route(a)
+			}
+		}
+	}
+	return out
+}
+
+// errorBound computes the exact maximum of |prediction − true index| over
+// every key in the submodel's responsibility. Within one linear segment the
+// prediction is monotone while the true index is a step function changing
+// only at entry lower bounds, so the maximum over each (segment ∩ entry)
+// piece is attained at its two endpoints.
+func errorBound(width int, l *LUT, ix Index, ivs []interval) int32 {
+	n := ix.Len()
+	pred := func(k keys.Value) int {
+		return scaleClamp(l.Eval(unitOf(width, k)), n)
+	}
+	maxErr := 0
+	note := func(k keys.Value, truth int) {
+		d := pred(k) - truth
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	for _, iv := range ivs {
+		for _, piece := range splitAtKnots(width, l, iv) {
+			r := Find(ix, piece.Lo)
+			start := piece.Lo
+			for {
+				end := piece.Hi
+				if r+1 < n && !piece.Hi.Less(ix.Low(r+1)) {
+					end = ix.Low(r + 1).Dec()
+				}
+				note(start, r)
+				note(end, r)
+				if end == piece.Hi {
+					break
+				}
+				start = ix.Low(r + 1)
+				r++
+			}
+		}
+	}
+	return int32(maxErr)
+}
+
+// Verify exhaustively re-checks the model's error bounds against the index
+// at every entry boundary and both endpoints of every final-stage
+// responsibility piece, returning false with a witness key on violation.
+// It recomputes responsibilities from the stored LUTs, so it validates the
+// whole inference chain, not just the stored Err values.
+func (m *Model) Verify(ix Index) (ok bool, witness keys.Value) {
+	width := m.Width
+	dom := keys.NewDomain(width)
+	resp := []interval{{Lo: keys.Value{}, Hi: dom.Max()}}
+	stageResp := [][]interval{resp}
+	for s := 0; s < len(m.Stages)-1; s++ {
+		next := make([][]interval, len(m.Stages[s+1]))
+		for j, ivs := range stageResp {
+			if len(ivs) == 0 {
+				continue
+			}
+			parts := partition(width, &m.Stages[s][j], len(m.Stages[s+1]), ivs)
+			for t := range parts {
+				next[t] = append(next[t], parts[t]...)
+			}
+		}
+		stageResp = next
+	}
+	last := len(m.Stages) - 1
+	for j := range m.Stages[last] {
+		l := &m.Stages[last][j]
+		check := func(k keys.Value) bool {
+			truth := Find(ix, k)
+			p := scaleClamp(l.Eval(unitOf(width, k)), ix.Len())
+			d := p - truth
+			if d < 0 {
+				d = -d
+			}
+			return d <= int(l.Err)
+		}
+		for _, iv := range stageResp[j] {
+			for _, piece := range splitAtKnots(width, l, iv) {
+				r := Find(ix, piece.Lo)
+				start := piece.Lo
+				for {
+					end := piece.Hi
+					if r+1 < ix.Len() && !piece.Hi.Less(ix.Low(r+1)) {
+						end = ix.Low(r + 1).Dec()
+					}
+					if !check(start) {
+						return false, start
+					}
+					if !check(end) {
+						return false, end
+					}
+					if end == piece.Hi {
+						break
+					}
+					start = ix.Low(r + 1)
+					r++
+				}
+			}
+		}
+	}
+	return true, keys.Value{}
+}

@@ -1,0 +1,33 @@
+package rqrmi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadModel ensures arbitrary byte streams never panic the
+// deserializer, and that any accepted model validates.
+func FuzzReadModel(f *testing.F) {
+	// Seed with a real serialized model.
+	ix := uniformIndex(16, 64)
+	m, _, err := Train(ix, 16, quickConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("RQRMI1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted model fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,663 @@
+package rqrmi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurolpm/internal/keys"
+)
+
+// sliceIndex is a test Index over explicit lower bounds.
+type sliceIndex struct {
+	lows []keys.Value
+}
+
+func (s *sliceIndex) Len() int             { return len(s.lows) }
+func (s *sliceIndex) Low(i int) keys.Value { return s.lows[i] }
+
+// uniformIndex builds n entries spread evenly across a width-bit domain.
+func uniformIndex(width, n int) *sliceIndex {
+	dom := keys.NewDomain(width)
+	lows := make([]keys.Value, n)
+	for i := 1; i < n; i++ {
+		lows[i] = dom.FromUnit(float64(i) / float64(n))
+	}
+	return &sliceIndex{lows: dedupe(lows)}
+}
+
+// skewedIndex builds n entries clustered in a few hot regions, mimicking the
+// clustered low bounds of real forwarding tables.
+func skewedIndex(rng *rand.Rand, width, n int) *sliceIndex {
+	dom := keys.NewDomain(width)
+	centers := []float64{0.1, 0.35, 0.71, 0.92}
+	lowSet := map[keys.Value]bool{{}: true}
+	for len(lowSet) < n {
+		c := centers[rng.Intn(len(centers))]
+		u := c + rng.NormFloat64()*0.02
+		if u <= 0 || u >= 1 {
+			continue
+		}
+		lowSet[dom.FromUnit(u)] = true
+	}
+	lows := make([]keys.Value, 0, len(lowSet))
+	for v := range lowSet {
+		lows = append(lows, v)
+	}
+	sortValues(lows)
+	return &sliceIndex{lows: lows}
+}
+
+func sortValues(v []keys.Value) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j].Less(v[j-1]); j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func dedupe(v []keys.Value) []keys.Value {
+	out := v[:1]
+	for _, x := range v[1:] {
+		if out[len(out)-1].Less(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Samples = 512
+	cfg.Epochs = 20
+	cfg.StageWidths = []int{1, 2, 8}
+	cfg.MaxRounds = 2
+	return cfg
+}
+
+func TestFind(t *testing.T) {
+	ix := &sliceIndex{lows: []keys.Value{
+		keys.FromUint64(0), keys.FromUint64(10), keys.FromUint64(20),
+	}}
+	cases := map[uint64]int{0: 0, 5: 0, 10: 1, 19: 1, 20: 2, 1000: 2}
+	for k, want := range cases {
+		if got := Find(ix, keys.FromUint64(k)); got != want {
+			t.Errorf("Find(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestLUTEval(t *testing.T) {
+	l := LUT{
+		Knots: []float32{0.5},
+		A:     []float32{1, 2},
+		B:     []float32{0, -0.5},
+	}
+	if got := l.Eval(0.25); got != 0.25 {
+		t.Errorf("Eval(0.25) = %g", got)
+	}
+	if got := l.Eval(0.5); got != 0.5 { // boundary belongs to left segment
+		t.Errorf("Eval(0.5) = %g", got)
+	}
+	if got := l.Eval(0.75); got != 1.0 {
+		t.Errorf("Eval(0.75) = %g", got)
+	}
+}
+
+func TestScaleClamp(t *testing.T) {
+	cases := []struct {
+		y    float32
+		n    int
+		want int
+	}{
+		{-0.5, 10, 0},
+		{0, 10, 0},
+		{float32(math.NaN()), 10, 0},
+		{0.05, 10, 0},
+		{0.15, 10, 1},
+		{0.999999, 10, 9},
+		{1, 10, 9},
+		{5, 10, 9},
+	}
+	for _, c := range cases {
+		if got := scaleClamp(c.y, c.n); got != c.want {
+			t.Errorf("scaleClamp(%g,%d) = %d, want %d", c.y, c.n, got, c.want)
+		}
+	}
+}
+
+// TestCompileMatchesForward is the §5.2.2 equivalence: the compiled LUT must
+// reproduce the MLP output (up to float32 storage of the coefficients).
+func TestCompileMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		m := newMLP(0, 1, rng)
+		// Randomize beyond the near-identity init.
+		for k := 0; k < hiddenUnits; k++ {
+			m.w1[k] = rng.NormFloat64() * 3
+			m.b1[k] = rng.NormFloat64()
+			m.w2[k] = rng.NormFloat64()
+		}
+		m.b2 = rng.NormFloat64()
+		lut := m.compile()
+		if lut.Segments() > MaxSegments {
+			t.Fatalf("%d segments", lut.Segments())
+		}
+		for q := 0; q < 200; q++ {
+			u := rng.Float64()
+			want := m.forward(u, nil)
+			got := float64(lut.Eval(float32(u)))
+			// float32 coefficient storage bounds the discrepancy.
+			tol := 1e-5 * (1 + math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("trial %d u=%g: lut %g vs mlp %g", trial, u, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileSegmentCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := newMLP(0, 1, rng)
+	lut := m.compile()
+	if lut.Segments() < 1 || lut.Segments() > MaxSegments {
+		t.Fatalf("segments = %d", lut.Segments())
+	}
+	if len(lut.Knots) != lut.Segments()-1 {
+		t.Fatalf("knots = %d for %d segments", len(lut.Knots), lut.Segments())
+	}
+}
+
+func TestMLPTrainsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := newMLP(0, 1, rng)
+	var samples []sample
+	for i := 0; i < 512; i++ {
+		u := rng.Float64()
+		samples = append(samples, sample{u: u, target: 0.2 + 0.6*u})
+	}
+	loss := m.train(samples, trainParams{epochs: 40, batchSize: 32, lr: 0.2, momentum: 0.9}, rng)
+	if loss > 1e-3 {
+		t.Fatalf("failed to fit a line: loss %g", loss)
+	}
+}
+
+func TestSplitAtKnotsCoversInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	width := 24
+	dom := keys.NewDomain(width)
+	for trial := 0; trial < 30; trial++ {
+		m := newMLP(0, 1, rng)
+		for k := 0; k < hiddenUnits; k++ {
+			m.w1[k] = rng.NormFloat64() * 2
+			m.b1[k] = rng.NormFloat64() * 0.5
+		}
+		lut := m.compile()
+		iv := interval{Lo: keys.Value{}, Hi: dom.Max()}
+		pieces := splitAtKnots(width, &lut, iv)
+		if pieces[0].Lo != iv.Lo || pieces[len(pieces)-1].Hi != iv.Hi {
+			t.Fatalf("pieces do not span interval: %+v", pieces)
+		}
+		for i := range pieces {
+			if pieces[i].Hi.Less(pieces[i].Lo) {
+				t.Fatalf("piece %d inverted: %+v", i, pieces[i])
+			}
+			if i > 0 && pieces[i-1].Hi.Inc() != pieces[i].Lo {
+				t.Fatalf("gap between pieces %d and %d", i-1, i)
+			}
+		}
+	}
+}
+
+func TestPartitionAgreesWithRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	width := 20
+	dom := keys.NewDomain(width)
+	for trial := 0; trial < 20; trial++ {
+		m := newMLP(0, 1, rng)
+		for k := 0; k < hiddenUnits; k++ {
+			m.w1[k] = rng.NormFloat64() * 2
+			m.w2[k] = rng.NormFloat64() * 0.5
+		}
+		lut := m.compile()
+		n := 8
+		parts := partition(width, &lut, n, []interval{{Lo: keys.Value{}, Hi: dom.Max()}})
+		// Every sampled key must land in the part it routes to.
+		for q := 0; q < 500; q++ {
+			k := keys.FromUint64(rng.Uint64() & (1<<20 - 1))
+			want := scaleClamp(lut.Eval(unitOf(width, k)), n)
+			found := -1
+			for slot, ivs := range parts {
+				for _, iv := range ivs {
+					if !k.Less(iv.Lo) && !iv.Hi.Less(k) {
+						found = slot
+					}
+				}
+			}
+			if found != want {
+				t.Fatalf("key %v in part %d, routes to %d", k, found, want)
+			}
+		}
+		// Parts must tile the domain exactly.
+		total := 0.0
+		for _, ivs := range parts {
+			for _, iv := range ivs {
+				total += iv.Hi.Sub(iv.Lo).Float64() + 1
+			}
+		}
+		if want := math.Ldexp(1, width); total != want {
+			t.Fatalf("parts cover %g keys, want %g", total, want)
+		}
+	}
+}
+
+// TestErrorBoundSound is the core soundness property: on a small domain the
+// analytically computed bound must dominate the true error at EVERY key.
+func TestErrorBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	width := 12
+	dom := keys.NewDomain(width)
+	for trial := 0; trial < 15; trial++ {
+		ix := skewedIndex(rng, width, 40)
+		m := newMLP(0, 1, rng)
+		// Train roughly so the bound is non-trivial.
+		var samples []sample
+		for i := 0; i < 400; i++ {
+			k := keys.FromUint64(uint64(rng.Intn(1 << width)))
+			samples = append(samples, sample{
+				u:      dom.ToUnit(k),
+				target: (float64(Find(ix, k)) + 0.5) / float64(ix.Len()),
+			})
+		}
+		m.train(samples, trainParams{epochs: 15, batchSize: 32, lr: 0.2, momentum: 0.9}, rng)
+		lut := m.compile()
+		ivs := []interval{{Lo: keys.Value{}, Hi: dom.Max()}}
+		bound := int(errorBound(width, &lut, ix, ivs))
+
+		worst := 0
+		for k := uint64(0); k < 1<<width; k++ {
+			key := keys.FromUint64(k)
+			p := scaleClamp(lut.Eval(unitOf(width, key)), ix.Len())
+			d := p - Find(ix, key)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > bound {
+			t.Fatalf("trial %d: true max error %d exceeds bound %d", trial, worst, bound)
+		}
+		if bound > worst {
+			// The analysis is exact, not just sound.
+			t.Fatalf("trial %d: bound %d exceeds true max error %d (not tight)", trial, bound, worst)
+		}
+	}
+}
+
+func TestTrainUniform(t *testing.T) {
+	ix := uniformIndex(32, 1000)
+	m, stats, err := Train(ix, 32, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Duration <= 0 {
+		t.Error("no duration recorded")
+	}
+	assertLookupsCorrect(t, m, ix, 32, 3000)
+}
+
+func TestTrainSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ix := skewedIndex(rng, 32, 2000)
+	m, _, err := Train(ix, 32, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLookupsCorrect(t, m, ix, 32, 3000)
+}
+
+func TestTrainExhaustiveSmallDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	ix := skewedIndex(rng, 14, 120)
+	m, _, err := Train(ix, 14, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1<<14; k++ {
+		key := keys.FromUint64(k)
+		idx, _ := m.Lookup(ix, key)
+		if want := Find(ix, key); idx != want {
+			t.Fatalf("key %d: lookup %d, want %d", k, idx, want)
+		}
+	}
+}
+
+func TestTrain128Bit(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	dom := keys.NewDomain(128)
+	lowSet := map[keys.Value]bool{{}: true}
+	for len(lowSet) < 300 {
+		lowSet[dom.FromUnit(rng.Float64())] = true
+	}
+	lows := make([]keys.Value, 0, len(lowSet))
+	for v := range lowSet {
+		lows = append(lows, v)
+	}
+	sortValues(lows)
+	ix := &sliceIndex{lows: lows}
+	m, _, err := Train(ix, 128, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLookupsCorrect(t, m, ix, 128, 2000)
+}
+
+func assertLookupsCorrect(t *testing.T, m *Model, ix Index, width, queries int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	dom := keys.NewDomain(width)
+	check := func(k keys.Value) {
+		idx, probes := m.Lookup(ix, k)
+		if want := Find(ix, k); idx != want {
+			t.Fatalf("key %v: lookup %d, want %d", k, idx, want)
+		}
+		if probes > 2+bitsFor(2*m.MaxErr()+1) {
+			t.Fatalf("key %v: %d probes exceed bound for err %d", k, probes, m.MaxErr())
+		}
+	}
+	for q := 0; q < queries; q++ {
+		check(dom.FromUnit(rng.Float64()))
+	}
+	// Boundaries are the adversarial inputs.
+	for i := 0; i < ix.Len(); i++ {
+		check(ix.Low(i))
+		if !ix.Low(i).IsZero() {
+			check(ix.Low(i).Dec())
+		}
+	}
+	check(dom.Max())
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b + 1
+}
+
+func TestVerifyTrainedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ix := skewedIndex(rng, 24, 500)
+	m, _, err := Train(ix, 24, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, witness := m.Verify(ix); !ok {
+		t.Fatalf("Verify failed at key %v", witness)
+	}
+}
+
+func TestVerifyDetectsCorruptBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ix := skewedIndex(rng, 20, 400)
+	m, _, err := Train(ix, 20, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: zero out all final-stage error bounds.
+	last := len(m.Stages) - 1
+	sabotaged := false
+	for j := range m.Stages[last] {
+		if m.Stages[last][j].Err > 0 {
+			m.Stages[last][j].Err = 0
+			sabotaged = true
+		}
+	}
+	if !sabotaged {
+		t.Skip("model trained to zero error; nothing to sabotage")
+	}
+	if ok, _ := m.Verify(ix); ok {
+		t.Fatal("Verify accepted corrupted bounds")
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	ix := uniformIndex(16, 100)
+	bad := []Config{
+		{},
+		{StageWidths: []int{2, 4}, Samples: 512, Epochs: 10, LearningRate: 0.1},
+		{StageWidths: []int{1, 0}, Samples: 512, Epochs: 10, LearningRate: 0.1},
+		{StageWidths: []int{1, 4}, Samples: 1, Epochs: 10, LearningRate: 0.1},
+		{StageWidths: []int{1, 4}, Samples: 512, Epochs: 0, LearningRate: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Train(ix, 16, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainEmptyIndex(t *testing.T) {
+	if _, _, err := Train(&sliceIndex{}, 16, quickConfig()); err == nil {
+		t.Fatal("empty index accepted")
+	}
+}
+
+func TestTrainSingleEntry(t *testing.T) {
+	ix := &sliceIndex{lows: []keys.Value{{}}}
+	m, _, err := Train(ix, 16, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := m.Lookup(ix, keys.FromUint64(12345))
+	if idx != 0 {
+		t.Fatalf("lookup = %d", idx)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	ix := uniformIndex(24, 300)
+	cfg := quickConfig()
+	cfg.Workers = 1
+	m1, _, err := Train(ix, 24, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Train(ix, 24, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if _, err := m1.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("training is not deterministic for a fixed seed")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ix := skewedIndex(rng, 24, 300)
+	m, _, err := Train(ix, 24, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != m.Width || got.N != m.N {
+		t.Fatalf("header mismatch: %d/%d vs %d/%d", got.Width, got.N, m.Width, m.N)
+	}
+	// Identical predictions on a sample.
+	for q := 0; q < 500; q++ {
+		k := keys.FromUint64(uint64(rng.Intn(1 << 24)))
+		if m.Predict(k) != got.Predict(k) {
+			t.Fatalf("prediction mismatch at %v", k)
+		}
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXXXX"),
+		append([]byte("RQRMI1"), 0, 0), // truncated
+	}
+	for i, b := range cases {
+		if _, err := ReadModel(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	bad := []*Model{
+		{},
+		{N: 10, Stages: [][]LUT{{constLUT(0), constLUT(0)}}},                    // stage0 width 2
+		{N: 0, Stages: [][]LUT{{constLUT(0)}}},                                  // N=0
+		{N: 10, Stages: [][]LUT{{{A: []float32{1}, B: nil}}}},                   // shape
+		{N: 10, Stages: [][]LUT{{{A: []float32{1}, B: []float32{1}, Err: -1}}}}, // negative err
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted", i)
+		}
+	}
+}
+
+func TestSizeBytesSmall(t *testing.T) {
+	// The paper's 1/4/64 model is ~8KB; our LUT encoding must stay in that
+	// ballpark (69 submodels × ≤9 segments × 12B ≈ 7.5KB max).
+	ix := uniformIndex(32, 5000)
+	cfg := quickConfig()
+	cfg.StageWidths = []int{1, 4, 64}
+	m, _, err := Train(ix, 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SizeBytes() > 10*1024 {
+		t.Fatalf("model size %d bytes exceeds 10KB", m.SizeBytes())
+	}
+}
+
+func TestPredictionSubmodelInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ix := skewedIndex(rng, 20, 200)
+	m, _, err := Train(ix, 20, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		p := m.Predict(keys.FromUint64(uint64(rng.Intn(1 << 20))))
+		if p.Submodel < 0 || p.Submodel >= len(m.Stages[len(m.Stages)-1]) {
+			t.Fatalf("submodel %d out of range", p.Submodel)
+		}
+		if p.Index < 0 || p.Index >= ix.Len() {
+			t.Fatalf("index %d out of range", p.Index)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	ix := uniformIndex(32, 100000)
+	m, _, err := Train(ix, 32, quickConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	qs := make([]keys.Value, 1024)
+	for i := range qs {
+		qs[i] = keys.FromUint64(uint64(rng.Uint32()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(qs[i&1023])
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	ix := uniformIndex(32, 100000)
+	m, _, err := Train(ix, 32, quickConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	qs := make([]keys.Value, 1024)
+	for i := range qs {
+		qs[i] = keys.FromUint64(uint64(rng.Uint32()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(ix, qs[i&1023])
+	}
+}
+
+func BenchmarkTrain10K(b *testing.B) {
+	ix := uniformIndex(32, 10000)
+	cfg := quickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Train(ix, 32, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The §5.2.2 inference ablation: the compiled LUT replaces the 26-FP-op MLP
+// evaluation with a segment lookup plus one MAC. These two benchmarks
+// compare the software cost of both paths on the same trained submodel.
+func BenchmarkMLPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := newMLP(0, 1, rng)
+	var samples []sample
+	for i := 0; i < 256; i++ {
+		u := rng.Float64()
+		samples = append(samples, sample{u: u, target: u * u})
+	}
+	m.train(samples, trainParams{epochs: 10, batchSize: 32, lr: 0.2, momentum: 0.9}, rng)
+	us := make([]float64, 1024)
+	for i := range us {
+		us[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forward(us[i&1023], nil)
+	}
+}
+
+func BenchmarkLUTEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := newMLP(0, 1, rng)
+	var samples []sample
+	for i := 0; i < 256; i++ {
+		u := rng.Float64()
+		samples = append(samples, sample{u: u, target: u * u})
+	}
+	m.train(samples, trainParams{epochs: 10, batchSize: 32, lr: 0.2, momentum: 0.9}, rng)
+	lut := m.compile()
+	us := make([]float32, 1024)
+	for i := range us {
+		us[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lut.Eval(us[i&1023])
+	}
+}

@@ -1,0 +1,171 @@
+package rqrmi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format (little endian):
+//
+//	magic   [6]byte "RQRMI1"
+//	width   uint16
+//	n       uint64
+//	stages  uint16
+//	per stage: width uint32
+//	per submodel (stage-major order):
+//	    segments uint16
+//	    knots    [segments-1]float32
+//	    a, b     [segments]float32 each
+//	    err      int32
+var magic = [6]byte{'R', 'Q', 'R', 'M', 'I', '1'}
+
+// WriteTo serializes the model.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if err := write(magic); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint16(m.Width)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint64(m.N)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint16(len(m.Stages))); err != nil {
+		return cw.n, err
+	}
+	for _, stage := range m.Stages {
+		if err := write(uint32(len(stage))); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, stage := range m.Stages {
+		for j := range stage {
+			l := &stage[j]
+			if err := write(uint16(len(l.A))); err != nil {
+				return cw.n, err
+			}
+			for _, v := range l.Knots {
+				if err := write(v); err != nil {
+					return cw.n, err
+				}
+			}
+			for _, v := range l.A {
+				if err := write(v); err != nil {
+					return cw.n, err
+				}
+			}
+			for _, v := range l.B {
+				if err := write(v); err != nil {
+					return cw.n, err
+				}
+			}
+			if err := write(l.Err); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteTo and validates it.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var got [6]byte
+	if err := read(&got); err != nil {
+		return nil, fmt.Errorf("rqrmi: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("rqrmi: bad magic %q", got)
+	}
+	var width uint16
+	var n uint64
+	var stages uint16
+	if err := read(&width); err != nil {
+		return nil, err
+	}
+	if err := read(&n); err != nil {
+		return nil, err
+	}
+	if err := read(&stages); err != nil {
+		return nil, err
+	}
+	if width == 0 || width > 128 {
+		return nil, fmt.Errorf("rqrmi: invalid width %d", width)
+	}
+	if stages == 0 || stages > 16 {
+		return nil, fmt.Errorf("rqrmi: invalid stage count %d", stages)
+	}
+	if n == 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("rqrmi: invalid index size %d", n)
+	}
+	m := &Model{Width: int(width), N: int(n), Stages: make([][]LUT, stages)}
+	for s := range m.Stages {
+		var w uint32
+		if err := read(&w); err != nil {
+			return nil, err
+		}
+		if w == 0 || w > 1<<20 {
+			return nil, fmt.Errorf("rqrmi: invalid stage width %d", w)
+		}
+		m.Stages[s] = make([]LUT, w)
+	}
+	for s := range m.Stages {
+		for j := range m.Stages[s] {
+			var segs uint16
+			if err := read(&segs); err != nil {
+				return nil, err
+			}
+			if segs == 0 || int(segs) > MaxSegments {
+				return nil, fmt.Errorf("rqrmi: invalid segment count %d", segs)
+			}
+			l := LUT{
+				Knots: make([]float32, segs-1),
+				A:     make([]float32, segs),
+				B:     make([]float32, segs),
+			}
+			for i := range l.Knots {
+				if err := read(&l.Knots[i]); err != nil {
+					return nil, err
+				}
+			}
+			for i := range l.A {
+				if err := read(&l.A[i]); err != nil {
+					return nil, err
+				}
+			}
+			for i := range l.B {
+				if err := read(&l.B[i]); err != nil {
+					return nil, err
+				}
+			}
+			if err := read(&l.Err); err != nil {
+				return nil, err
+			}
+			m.Stages[s][j] = l
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,332 @@
+package rqrmi
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"neurolpm/internal/keys"
+)
+
+// Config controls RQRMI training. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// StageWidths is the number of submodels per stage. The paper's
+	// configuration — 1, 4, 64 — achieves good performance on all evaluated
+	// rule-sets (§8).
+	StageWidths []int
+	// Samples is the uniform-sample budget per submodel.
+	Samples int
+	// Epochs, BatchSize, LearningRate and Momentum drive per-submodel SGD.
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Momentum     float64
+	// TargetErr is the per-submodel error-bound goal: submodels above it are
+	// retrained with a fresh seed and more epochs, up to MaxRounds rounds.
+	// "Straggler" submodels still above the target after MaxRounds keep
+	// their best bound — the paper shows absorbing a few high-e submodels in
+	// the secondary search costs ~3.5% of lookup throughput but shortens
+	// training up to 4× (§6.5).
+	TargetErr int
+	MaxRounds int
+	// Workers bounds training parallelism (§6.5: submodels are independent).
+	// Zero means GOMAXPROCS.
+	Workers int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's model configuration with training knobs
+// sized for sub-second training of ~1M-range indexes.
+func DefaultConfig() Config {
+	return Config{
+		StageWidths:  []int{1, 4, 64},
+		Samples:      4096,
+		Epochs:       48,
+		BatchSize:    64,
+		LearningRate: 0.25,
+		Momentum:     0.9,
+		TargetErr:    512,
+		MaxRounds:    3,
+		Seed:         1,
+	}
+}
+
+func (c *Config) validate() error {
+	if len(c.StageWidths) == 0 {
+		return fmt.Errorf("rqrmi: config has no stages")
+	}
+	if c.StageWidths[0] != 1 {
+		return fmt.Errorf("rqrmi: stage 0 width must be 1, got %d", c.StageWidths[0])
+	}
+	for _, w := range c.StageWidths {
+		if w < 1 {
+			return fmt.Errorf("rqrmi: invalid stage width %d", w)
+		}
+	}
+	if c.Samples < 16 {
+		return fmt.Errorf("rqrmi: sample budget %d too small", c.Samples)
+	}
+	if c.Epochs < 1 || c.LearningRate <= 0 {
+		return fmt.Errorf("rqrmi: invalid SGD parameters")
+	}
+	return nil
+}
+
+// Stats reports what training did.
+type Stats struct {
+	Duration      time.Duration
+	StageDuration []time.Duration
+	SubmodelErrs  []int // final-stage error bounds
+	Retrained     int   // submodels that needed extra rounds
+	Stragglers    int   // submodels still above TargetErr at the end
+}
+
+// MaxErr returns the largest final-stage error bound.
+func (s *Stats) MaxErr() int {
+	max := 0
+	for _, e := range s.SubmodelErrs {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Train fits an RQRMI model to the index over a width-bit key domain.
+// Training is stage by stage; submodels within a stage train in parallel.
+func Train(ix Index, width int, cfg Config) (*Model, *Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if ix.Len() == 0 {
+		return nil, nil, fmt.Errorf("rqrmi: cannot train on an empty index")
+	}
+	start := time.Now()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dom := keys.NewDomain(width)
+	m := &Model{Width: width, N: ix.Len(), Stages: make([][]LUT, len(cfg.StageWidths))}
+	stats := &Stats{StageDuration: make([]time.Duration, len(cfg.StageWidths))}
+
+	// Responsibilities of the submodels in the stage being trained.
+	resp := make([][]interval, 1)
+	resp[0] = []interval{{Lo: keys.Value{}, Hi: dom.Max()}}
+
+	for s, stageWidth := range cfg.StageWidths {
+		stageStart := time.Now()
+		m.Stages[s] = make([]LUT, stageWidth)
+		final := s == len(cfg.StageWidths)-1
+
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		var mu sync.Mutex
+		for j := 0; j < stageWidth; j++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				lut, retrained := trainSubmodel(ix, width, cfg, resp[j], final, int64(s)<<32|int64(j))
+				mu.Lock()
+				m.Stages[s][j] = lut
+				stats.Retrained += retrained
+				mu.Unlock()
+			}(j)
+		}
+		wg.Wait()
+
+		if !final {
+			// Route the domain through the freshly compiled stage to obtain
+			// the next stage's responsibilities (analytically, §5.2).
+			next := make([][]interval, cfg.StageWidths[s+1])
+			for j := range resp {
+				if len(resp[j]) == 0 {
+					continue
+				}
+				parts := partition(width, &m.Stages[s][j], cfg.StageWidths[s+1], resp[j])
+				for t := range parts {
+					next[t] = append(next[t], parts[t]...)
+				}
+			}
+			resp = next
+		} else {
+			for j := range m.Stages[s] {
+				e := int(m.Stages[s][j].Err)
+				stats.SubmodelErrs = append(stats.SubmodelErrs, e)
+				if e > cfg.TargetErr {
+					stats.Stragglers++
+				}
+			}
+		}
+		stats.StageDuration[s] = time.Since(stageStart)
+	}
+	stats.Duration = time.Since(start)
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return m, stats, nil
+}
+
+// trainSubmodel trains one submodel on its responsibility, compiles it, and
+// (for final-stage submodels) computes its error bound, retrying stragglers
+// per the config. It returns the LUT and how many retrain rounds ran.
+func trainSubmodel(ix Index, width int, cfg Config, ivs []interval, final bool, seed int64) (LUT, int) {
+	if totalSpan(ivs) == 0 {
+		return constLUT(0), 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ seed))
+	samples := drawSamples(ix, width, ivs, cfg.Samples, rng)
+	if len(samples) == 0 {
+		return constLUT(0), 0
+	}
+	uMin, uMax := sampleBounds(samples)
+
+	var best LUT
+	bestErr := int32(-1)
+	rounds := 0
+	epochs := cfg.Epochs
+	for round := 0; round < maxInt(1, cfg.MaxRounds); round++ {
+		net := newMLP(uMin, uMax, rng)
+		net.train(samples, trainParams{
+			epochs:    epochs,
+			batchSize: cfg.BatchSize,
+			lr:        cfg.LearningRate,
+			momentum:  cfg.Momentum,
+		}, rng)
+		lut := net.compile()
+		if !final {
+			// Internal stages need no error bound: routing is recomputed
+			// analytically from whatever the stage learned.
+			return lut, rounds
+		}
+		lut.Err = errorBound(width, &lut, ix, ivs)
+		if bestErr < 0 || lut.Err < bestErr {
+			best, bestErr = lut, lut.Err
+		}
+		if bestErr <= int32(cfg.TargetErr) {
+			break
+		}
+		// Straggler: more epochs and a denser sample set for the retry.
+		rounds++
+		epochs += cfg.Epochs
+		extra := drawSamples(ix, width, ivs, cfg.Samples, rng)
+		samples = append(samples, extra...)
+	}
+	return best, rounds
+}
+
+// totalSpan returns the total key count covered by the intervals as a
+// float64 (precision loss is harmless: it only weights sampling).
+func totalSpan(ivs []interval) float64 {
+	total := 0.0
+	for _, iv := range ivs {
+		total += iv.Hi.Sub(iv.Lo).Float64() + 1
+	}
+	return total
+}
+
+// drawSamples draws ~budget training samples for a responsibility: uniform
+// keys across the intervals plus the entry boundaries that fall inside them
+// (boundaries are where the learned step function actually moves).
+func drawSamples(ix Index, width int, ivs []interval, budget int, rng *rand.Rand) []sample {
+	dom := keys.NewDomain(width)
+	n := ix.Len()
+	out := make([]sample, 0, budget+budget/2)
+	add := func(k keys.Value) {
+		idx := Find(ix, k)
+		out = append(out, sample{
+			u:      dom.ToUnit(k),
+			target: (float64(idx) + 0.5) / float64(n),
+		})
+	}
+	total := totalSpan(ivs)
+	if total <= 0 {
+		return nil
+	}
+	// Uniform samples, interval-weighted.
+	for i := 0; i < budget; i++ {
+		t := rng.Float64() * total
+		for _, iv := range ivs {
+			span := iv.Hi.Sub(iv.Lo).Float64() + 1
+			if t > span {
+				t -= span
+				continue
+			}
+			add(randKeyIn(rng, iv))
+			break
+		}
+	}
+	// Boundary samples: every entry low inside the responsibility, capped at
+	// half the budget by striding.
+	boundaries := 0
+	for _, iv := range ivs {
+		lo := Find(ix, iv.Lo)
+		hi := Find(ix, iv.Hi)
+		boundaries += hi - lo
+	}
+	stride := 1
+	if limit := budget / 2; limit > 0 && boundaries > limit {
+		stride = (boundaries + limit - 1) / limit
+	}
+	cnt := 0
+	for _, iv := range ivs {
+		lo := Find(ix, iv.Lo)
+		hi := Find(ix, iv.Hi)
+		for r := lo + 1; r <= hi; r++ {
+			if cnt%stride == 0 {
+				add(ix.Low(r))
+			}
+			cnt++
+		}
+	}
+	return out
+}
+
+// randKeyIn draws a near-uniform key in the inclusive interval. Slight
+// modulo bias is harmless: samples only steer SGD, never correctness.
+func randKeyIn(rng *rand.Rand, iv interval) keys.Value {
+	span := iv.Hi.Sub(iv.Lo) // key count − 1
+	if span.Hi == 0 {
+		if span.Lo == ^uint64(0) {
+			return iv.Lo.AddUint64(rng.Uint64())
+		}
+		return iv.Lo.AddUint64(rng.Uint64() % (span.Lo + 1))
+	}
+	if span.Hi == ^uint64(0) {
+		// The interval is essentially the whole 128-bit domain.
+		return keys.FromParts(rng.Uint64(), rng.Uint64())
+	}
+	// Wide interval: pick the high limb in range, reject the rare overshoot.
+	for {
+		v := keys.FromParts(rng.Uint64()%(span.Hi+1), rng.Uint64())
+		if !span.Less(v) {
+			return iv.Lo.Add(v)
+		}
+	}
+}
+
+func sampleBounds(s []sample) (uMin, uMax float64) {
+	uMin, uMax = s[0].u, s[0].u
+	for _, x := range s[1:] {
+		if x.u < uMin {
+			uMin = x.u
+		}
+		if x.u > uMax {
+			uMax = x.u
+		}
+	}
+	return uMin, uMax
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

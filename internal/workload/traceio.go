@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"neurolpm/internal/keys"
+)
+
+// WriteTrace writes one hexadecimal key per line (the format lpmgen emits
+// and lpmquery consumes).
+func WriteTrace(w io.Writer, trace []keys.Value) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range trace {
+		if _, err := bw.WriteString(k.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace. Keys must fit the given
+// width; blank lines and '#' comments are skipped.
+func ReadTrace(r io.Reader, width int) ([]keys.Value, error) {
+	dom := keys.NewDomain(width)
+	var out []keys.Value
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := parseKey(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+		}
+		if !dom.Contains(v) {
+			return nil, fmt.Errorf("workload: trace line %d: key %s exceeds %d bits", lineNo, line, width)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseKey accepts decimal or 0x-hex values up to 128 bits.
+func parseKey(s string) (keys.Value, error) {
+	if strings.HasPrefix(s, "0x") && len(s) > 18 {
+		digits := s[2:]
+		if len(digits) > 32 {
+			return keys.Value{}, fmt.Errorf("value exceeds 128 bits")
+		}
+		split := len(digits) - 16
+		hi, err := strconv.ParseUint(digits[:split], 16, 64)
+		if err != nil {
+			return keys.Value{}, err
+		}
+		lo, err := strconv.ParseUint(digits[split:], 16, 64)
+		if err != nil {
+			return keys.Value{}, err
+		}
+		return keys.FromParts(hi, lo), nil
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return keys.Value{}, err
+	}
+	return keys.FromUint64(v), nil
+}

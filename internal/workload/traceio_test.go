@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"neurolpm/internal/keys"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	trace := []keys.Value{
+		keys.FromUint64(0),
+		keys.FromUint64(0xDEADBEEF),
+		keys.FromParts(0x1234, 0x5678),
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("read %d keys", len(got))
+	}
+	for i := range got {
+		if got[i] != trace[i] {
+			t.Fatalf("key %d: %v vs %v", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestReadTraceSkipsComments(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader("# header\n\n0x10\n"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != keys.FromUint64(0x10) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadTraceRejectsOutOfDomain(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("0x100000000\n"), 32); err == nil {
+		t.Fatal("33-bit key accepted in 32-bit domain")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	for _, text := range []string{"zzz\n", "0xGG\n", "0x" + strings.Repeat("f", 40) + "\n"} {
+		if _, err := ReadTrace(strings.NewReader(text), 128); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}
+
+func TestReadTraceDecimal(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader("42\n"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != keys.FromUint64(42) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGeneratedTraceRoundTrips(t *testing.T) {
+	rs, err := Generate(IPv6(), 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateTrace(rs, DefaultTrace(500, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != trace[i] {
+			t.Fatalf("128-bit key %d mismatched: %v vs %v", i, got[i], trace[i])
+		}
+	}
+}
