@@ -1,0 +1,28 @@
+# NeuroLPM reproduction — stdlib-only Go. `make ci` mirrors the GitHub
+# Actions pipeline (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build vet test race bench smoke ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# One fast end-to-end experiment plus the machine-readable report.
+smoke:
+	$(GO) run ./cmd/lpmbench -exp headline -json bench.json
+
+ci: build vet race smoke
+	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

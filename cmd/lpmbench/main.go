@@ -5,27 +5,83 @@
 //
 // Usage:
 //
-//	lpmbench [-exp name] [-full] [-seed N]
+//	lpmbench [-exp name] [-full] [-seed N] [-json out.json] [-metrics addr]
 //
 // Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
 // worstcase binsearch bitwidth updates scaling headline modelsize tss dram
 // replicas designspace worstbw all
+//
+// -json writes every experiment's table plus a headline Lookup
+// microbenchmark (ns/op, allocs/op) as machine-readable JSON, so the perf
+// trajectory is tracked across PRs instead of living only in
+// lpmbench_full.txt. -metrics serves /metrics and /debug/pprof while the
+// run is in flight.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
+	"neurolpm/internal/core"
 	"neurolpm/internal/experiments"
+	"neurolpm/internal/serve"
+	"neurolpm/internal/telemetry"
+	"neurolpm/internal/workload"
 )
+
+// jsonExperiment is one experiment's machine-readable result.
+type jsonExperiment struct {
+	Name      string     `json:"name"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedNs int64      `json:"elapsed_ns"`
+}
+
+// jsonBench is the headline Lookup microbenchmark.
+type jsonBench struct {
+	Rules       int     `json:"rules"`
+	Bucketized  bool    `json:"bucketized"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MLookupsPS  float64 `json:"mlookups_per_sec"`
+}
+
+// jsonReport is the -json output shape (BENCH_*.json across PRs).
+type jsonReport struct {
+	Scale       string           `json:"scale"`
+	Seed        int64            `json:"seed"`
+	GoVersion   string           `json:"go_version"`
+	Timestamp   string           `json:"timestamp"`
+	Experiments []jsonExperiment `json:"experiments"`
+	LookupBench *jsonBench       `json:"lookup_bench,omitempty"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
 	full := flag.Bool("full", false, "paper-scale inputs (§10.1); slow")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonPath := flag.String("json", "", "write results as machine-readable JSON to this file")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address while running")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, serve.MetricsHandler(telemetry.Default)); err != nil {
+				fmt.Fprintf(os.Stderr, "lpmbench: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lpmbench: metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	sc := experiments.QuickScale()
 	if *full {
@@ -199,6 +255,12 @@ func main() {
 	if *full {
 		scaleName = "paper"
 	}
+	report := jsonReport{
+		Scale:     scaleName,
+		Seed:      *seed,
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
 	fmt.Printf("# lpmbench scale=%s seed=%d\n\n", scaleName, *seed)
 	for _, name := range names {
 		start := time.Now()
@@ -207,7 +269,76 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lpmbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Print(tab.Render())
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", name, elapsed.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			Name:      name,
+			Title:     tab.Title,
+			Header:    tab.Header,
+			Rows:      tab.Rows,
+			Notes:     tab.Notes,
+			ElapsedNs: elapsed.Nanoseconds(),
+		})
 	}
+
+	if *jsonPath != "" {
+		bench, err := lookupBench(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpmbench: lookup bench: %v\n", err)
+			os.Exit(1)
+		}
+		report.LookupBench = bench
+		fmt.Printf("lookup bench: %.1f ns/op, %d allocs/op (%.2f Mlookups/s)\n",
+			bench.NsPerOp, bench.AllocsPerOp, bench.MLookupsPS)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lpmbench: wrote %s\n", *jsonPath)
+	}
+}
+
+// lookupBench measures the instrumented hot path with testing.Benchmark: a
+// RIPE-profile bucketized engine queried with a locality trace — the ns/op
+// and allocs/op that BENCH_*.json tracks across PRs.
+func lookupBench(sc experiments.Scale) (*jsonBench, error) {
+	n := sc.Rules["ripe"]
+	if n <= 0 {
+		n = 40000
+	}
+	rs, err := workload.Generate(workload.RIPE(), n, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.Build(rs, core.Config{BucketSize: 8, Model: sc.Model})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := workload.GenerateTrace(rs, workload.DefaultTrace(1<<16, sc.Seed+99))
+	if err != nil {
+		return nil, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Lookup(trace[i&(1<<16-1)])
+		}
+	})
+	ns := float64(res.NsPerOp())
+	return &jsonBench{
+		Rules:       rs.Len(),
+		Bucketized:  eng.Bucketized(),
+		Iterations:  res.N,
+		NsPerOp:     ns,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		MLookupsPS:  1e3 / ns,
+	}, nil
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"time"
@@ -21,6 +22,8 @@ import (
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/rqrmi"
+	"neurolpm/internal/serve"
+	"neurolpm/internal/telemetry"
 	"neurolpm/internal/workload"
 )
 
@@ -34,7 +37,17 @@ func main() {
 	sramMB := flag.Int("sram", 0, "emulate a cache of this many MB in front of DRAM (0 = uncached accounting)")
 	seed := flag.Int64("seed", 1, "trace seed")
 	oracle := flag.Bool("oracle", false, "cross-check every result against the trie oracle")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address while running")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, serve.MetricsHandler(telemetry.Default)); err != nil {
+				fmt.Fprintf(os.Stderr, "lpmquery: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lpmquery: metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	if *rulesPath == "" {
 		fatal("-rules is required")

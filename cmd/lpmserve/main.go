@@ -1,0 +1,116 @@
+// Command lpmserve is the NeuroLPM serving daemon: it builds (or loads) an
+// engine for a rule-set and serves lookups over HTTP alongside the full
+// observability surface — Prometheus-format /metrics backed by the
+// telemetry registry, expvar at /debug/vars, /debug/pprof, and per-query
+// traces at /trace?key=.
+//
+// Usage:
+//
+//	lpmserve -rules rules.txt -width 32 [-bucket 8] [-model model.bin]
+//	         [-addr :8080] [-sram MB]
+//
+// Endpoints:
+//
+//	GET /lookup?key=10.1.2.3     one query (JSON)
+//	GET /trace?key=10.1.2.3      one fully-annotated query span (JSON)
+//	GET /metrics                 Prometheus text format
+//	GET /healthz                 engine summary
+//	GET /debug/vars              expvar (includes the "neurolpm" registry)
+//	GET /debug/pprof/...         CPU/heap/goroutine profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"neurolpm/internal/cachesim"
+	"neurolpm/internal/core"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/rqrmi"
+	"neurolpm/internal/serve"
+	"neurolpm/internal/telemetry"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "rule-set file (required)")
+	width := flag.Int("width", 32, "key bit width")
+	bucket := flag.Int("bucket", 8, "ranges per bucket; 0 = SRAM-only")
+	modelPath := flag.String("model", "", "model file from lpmtrain (skips training)")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	sramMB := flag.Int("sram", 0, "emulate a cache of this many MB in front of DRAM (0 = uncached accounting)")
+	verify := flag.Bool("verify", false, "verify the engine against the trie oracle before serving")
+	flag.Parse()
+
+	if *rulesPath == "" {
+		fatal("-rules is required")
+	}
+	text, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rs, err := lpm.ParseRuleSet(*width, string(text))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	cfg := core.Config{BucketSize: *bucket, Model: rqrmi.DefaultConfig()}
+	var eng *core.Engine
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		model, err := rqrmi.ReadModel(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		eng, err = core.BuildWithModel(rs, cfg, model, false)
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		start := time.Now()
+		eng, err = core.Build(rs, cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "lpmserve: trained %d rules in %v (max err %d)\n",
+			rs.Len(), time.Since(start).Round(time.Millisecond), eng.Model().MaxErr())
+	}
+	if *verify {
+		if err := eng.Verify(); err != nil {
+			fatal("verification failed: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "lpmserve: engine verified against the trie oracle")
+	}
+
+	srv := serve.New(eng, telemetry.Default)
+	if *sramMB > 0 {
+		budget := *sramMB*1024*1024 - eng.SRAMUsage().Total
+		if budget <= 0 {
+			fatal("SRAM budget of %dMB is below the engine's static footprint (%d bytes)",
+				*sramMB, eng.SRAMUsage().Total)
+		}
+		cache, err := cachesim.New(cachesim.DefaultConfig(budget))
+		if err != nil {
+			fatal("%v", err)
+		}
+		srv.UseCache(cache)
+	}
+
+	u := eng.SRAMUsage()
+	fmt.Fprintf(os.Stderr, "lpmserve: serving %d-bit LPM (%d ranges, %dB SRAM, bucketized=%v) on %s\n",
+		*width, eng.Ranges().Len(), u.Total, eng.Bucketized(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lpmserve: "+format+"\n", args...)
+	os.Exit(1)
+}

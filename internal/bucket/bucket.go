@@ -11,6 +11,18 @@ import (
 
 	"neurolpm/internal/keys"
 	"neurolpm/internal/ranges"
+	"neurolpm/internal/telemetry"
+)
+
+// Every simulated DRAM fetch passes through DRAMAddr, so counting there
+// makes the fetch total exact by construction. core divides this counter by
+// its bucketized-lookup counter to expose the §7 "exactly one dependent
+// DRAM access per query" invariant as a live gauge.
+var (
+	metFetches = telemetry.Default.Counter("neurolpm_bucket_fetches_total",
+		"DRAM bucket fetches issued (paper §7)")
+	metFetchBytes = telemetry.Default.Counter("neurolpm_bucket_fetch_bytes_total",
+		"Bytes of bucket data fetched from DRAM (paper §7.1 layout)")
 )
 
 // Directory is the SRAM-resident compression of a range array.
@@ -96,5 +108,8 @@ func (d *Directory) BucketBytes() int {
 func (d *Directory) DRAMAddr(b int) (addr uint64, size int) {
 	eb := uint64(d.array.BytesPerEntry())
 	stride := uint64(d.K) * eb
-	return uint64(b)*stride + eb, d.BucketBytes()
+	size = d.BucketBytes()
+	metFetches.Inc()
+	metFetchBytes.Add(uint64(size))
+	return uint64(b)*stride + eb, size
 }

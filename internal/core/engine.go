@@ -23,6 +23,7 @@ import (
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/ranges"
 	"neurolpm/internal/rqrmi"
+	"neurolpm/internal/telemetry"
 )
 
 // Config configures an engine build.
@@ -175,7 +176,7 @@ func (e *Engine) Bucketized() bool { return e.dir != nil }
 // Lookup returns the action of the longest-prefix rule matching k.
 // ok is false when no live rule matches.
 func (e *Engine) Lookup(k keys.Value) (action uint64, ok bool) {
-	tr := e.LookupMem(k, cachesim.Null{})
+	tr := e.lookup(k, cachesim.Null{}, nil)
 	return tr.Action, tr.Matched
 }
 
@@ -195,22 +196,76 @@ type Trace struct {
 // mem (a cache or traffic counter). For the SRAM-only design no accesses are
 // issued. The returned trace carries the per-query statistics.
 func (e *Engine) LookupMem(k keys.Value, mem cachesim.Mem) Trace {
+	return e.lookup(k, mem, nil)
+}
+
+// LookupSpan executes the query while recording a fully-annotated span:
+// per-stage timings (inference → secondary search → bucket fetch), the
+// inference error bound, probe counts and DRAM traffic. It is the /trace
+// endpoint's implementation; the span costs clock reads and allocation, so
+// the plain Lookup paths pass a nil span instead.
+func (e *Engine) LookupSpan(k keys.Value, mem cachesim.Mem) (Trace, *telemetry.Span) {
+	sp := telemetry.StartSpan("lookup")
+	tr := e.lookup(k, mem, sp)
+	sp.Set("key", k.String())
+	sp.Set("predicted_index", tr.Prediction.Index)
+	sp.Set("error_bound", tr.Prediction.Err)
+	sp.Set("submodel", tr.Prediction.Submodel)
+	sp.Set("sram_probes", tr.SRAMProbes)
+	sp.Set("bucket_read", tr.BucketRead)
+	sp.Set("dram_bytes", tr.DRAMBytes)
+	sp.Set("range_index", tr.RangeIndex)
+	sp.Set("matched", tr.Matched)
+	if tr.Matched {
+		sp.Set("action", tr.Action)
+	}
+	sp.End()
+	return tr, sp
+}
+
+// lookup is the single instrumented implementation behind Lookup, LookupMem
+// and LookupSpan: one inference, one bounded secondary search, and (for
+// bucketized engines) exactly one DRAM bucket fetch. Telemetry counters are
+// always updated; stage timings are recorded only when sp is non-nil.
+func (e *Engine) lookup(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trace {
 	var tr Trace
+	var cmp int
+	end := sp.Stage("inference")
 	tr.Prediction = e.model.Predict(k)
+	end()
+	end = sp.Stage("secondary-search")
 	if e.dir == nil {
-		idx, probes := e.model.Lookup(e.ra, k)
-		tr.SRAMProbes = probes
-		tr.RangeIndex = idx
+		tr.RangeIndex, tr.SRAMProbes = e.model.Search(e.ra, k, tr.Prediction)
+		end()
 	} else {
-		b, probes := e.model.Lookup(e.dir, k)
+		b, probes := e.model.Search(e.dir, k, tr.Prediction)
+		end()
 		tr.SRAMProbes = probes
+		end = sp.Stage("bucket-fetch")
 		addr, size := e.dir.DRAMAddr(b)
 		mem.Read(addr, size)
 		tr.BucketRead = true
 		tr.DRAMBytes = size
-		tr.RangeIndex, _ = e.dir.Search(b, k)
+		tr.RangeIndex, cmp = e.dir.Search(b, k)
+		end()
+		metBucketized.Inc()
 	}
 	tr.Action, tr.Matched = e.resolve(tr.RangeIndex)
+	n := metLookups.Inc()
+	if tr.Matched {
+		metMatched.Inc()
+	}
+	// The per-query distributions are sampled 1:sampleEvery; an uncontended
+	// atomic RMW costs ~5ns on the reference machine, so observing three
+	// histograms on every query would alone blow the ≤2% overhead budget.
+	// Counters above stay exact — only distribution shape is sampled.
+	if n&(sampleEvery-1) == 0 {
+		metProbes.ObserveInt(tr.SRAMProbes)
+		metInferErr.ObserveInt(tr.Prediction.Err)
+		if tr.BucketRead {
+			metBucketCmp.ObserveInt(cmp)
+		}
+	}
 	return tr
 }
 

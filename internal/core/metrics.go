@@ -1,0 +1,52 @@
+// Always-on engine telemetry. The hot lookup path updates a handful of
+// sharded lock-free counters/histograms (internal/telemetry); the cost is
+// a few uncontended atomic adds per query, which benchmarks show is within
+// noise of the uninstrumented engine (see instrument_test.go).
+package core
+
+import "neurolpm/internal/telemetry"
+
+// sampleEvery is the per-query histogram sampling stride: distributions
+// (probes, error bound, bucket comparisons) are observed on every 64th
+// lookup of a shard. Counters are never sampled. Must be a power of two.
+const sampleEvery = 64
+
+var (
+	// metLookups counts every engine lookup, on any path (Lookup,
+	// LookupMem, LookupSpan) — the paths share one implementation, so the
+	// counters and the trace output cannot drift.
+	metLookups = telemetry.Default.Counter("neurolpm_lookups_total",
+		"Engine lookups executed (all query paths)")
+	metMatched = telemetry.Default.Counter("neurolpm_lookups_matched_total",
+		"Lookups that matched a live rule")
+	// metProbes is the §6.2 secondary-search probe distribution.
+	metProbes = telemetry.Default.Histogram("neurolpm_sram_probes",
+		"Secondary-search probes into the RQ Array per lookup (paper §6.2; sampled 1:64)")
+	// metInferErr is the per-query §5.2.1 error-bound distribution.
+	metInferErr = telemetry.Default.Histogram("neurolpm_inference_err",
+		"RQRMI inference error bound e per lookup (paper §5.2.1; sampled 1:64)")
+	metBucketized = telemetry.Default.Counter("neurolpm_bucketized_lookups_total",
+		"Lookups served by a bucketized (DRAM) engine")
+	metBucketCmp = telemetry.Default.Histogram("neurolpm_bucket_search_comparisons",
+		"Comparisons per bucket search over the fetched bounds (sampled 1:64)")
+)
+
+func init() {
+	// The §7 invariant as a live metric: a bucketized engine performs
+	// exactly one dependent DRAM bucket fetch per query, so this gauge must
+	// read exactly 1.0 whenever bucketized lookups have been served. The
+	// fetch counter is owned by internal/bucket (incremented at DRAMAddr,
+	// the single point every simulated fetch passes through); the
+	// get-or-create registry joins the two packages without an import cycle.
+	fetches := telemetry.Default.Counter("neurolpm_bucket_fetches_total",
+		"DRAM bucket fetches issued (paper §7)")
+	telemetry.Default.Gauge("neurolpm_bucket_fetches_per_query",
+		"Bucket fetches per bucketized lookup; must be exactly 1 (paper §7 invariant)",
+		func() float64 {
+			b := metBucketized.Load()
+			if b == 0 {
+				return 0
+			}
+			return float64(fetches.Load()) / float64(b)
+		})
+}

@@ -15,7 +15,47 @@ import (
 
 	"neurolpm/internal/keys"
 	"neurolpm/internal/rqrmi"
+	"neurolpm/internal/telemetry"
 )
+
+// Simulation tallies are accumulated locally in the Result (the sim loop is
+// single-threaded and its fields are per-run outputs) and published to the
+// shared registry as deltas once per run, so aggregate hardware behaviour —
+// the Fig 6a bank-conflict distribution, FSM occupancy — is scrapeable
+// alongside the engine's query metrics without double accounting in the
+// cycle loop.
+var (
+	metSimRuns = telemetry.Default.Counter("neurolpm_hwsim_runs_total",
+		"Cycle-level simulations executed")
+	metSimQueries = telemetry.Default.Counter("neurolpm_hwsim_queries_total",
+		"Queries simulated at cycle level")
+	metSimCycles = telemetry.Default.Counter("neurolpm_hwsim_cycles_total",
+		"Cycles simulated")
+	metBankAccesses = telemetry.Default.Counter("neurolpm_hwsim_bank_accesses_total",
+		"Granted SRAM bank reads (paper §6.2)")
+	metBankConflicts = telemetry.Default.Counter("neurolpm_hwsim_bank_conflicts_total",
+		"Cycles an FSM was denied by bank arbitration (paper Fig 6a)")
+	metEngineStalls = telemetry.Default.Counter("neurolpm_hwsim_engine_stalls_total",
+		"Cycles an inference engine stalled awaiting an FSM")
+	metFSMBusy = telemetry.Default.Counter("neurolpm_hwsim_fsm_busy_cycles_total",
+		"FSM-cycles spent busy (occupancy numerator, paper §6.2.1)")
+	metSimLatency = telemetry.Default.Histogram("neurolpm_hwsim_latency_cycles",
+		"End-to-end query latency in cycles")
+)
+
+// publish exports one finished run's tallies to the shared registry.
+func (r *Result) publish() {
+	metSimRuns.Inc()
+	metSimQueries.Add(uint64(r.Queries))
+	metSimCycles.Add(r.Cycles)
+	metBankAccesses.Add(r.BankAccesses)
+	metBankConflicts.Add(r.BankConflicts)
+	metEngineStalls.Add(r.EngineStalls)
+	metFSMBusy.Add(r.FSMBusyCycles)
+	for _, l := range r.Latencies {
+		metSimLatency.Observe(uint64(l))
+	}
+}
 
 // Config is a hardware configuration point. The paper explores 1–2 RQRMI
 // engines, 8–32 banks and 8–96 FSMs; banks must be a power of two for cheap
@@ -57,6 +97,7 @@ type Result struct {
 	BankAccesses  uint64 // granted SRAM reads
 	BankConflicts uint64 // cycles an FSM was denied by arbitration
 	EngineStalls  uint64 // cycles an engine was stalled awaiting an FSM
+	FSMBusyCycles uint64 // Σ over cycles of busy FSMs (occupancy numerator)
 	Latencies     []uint32
 
 	// finishedAt[q] is the absolute cycle query q's secondary search
@@ -91,6 +132,15 @@ func (r *Result) AvgBankAccesses() float64 {
 		return 0
 	}
 	return float64(r.BankAccesses) / float64(r.Queries)
+}
+
+// AvgFSMOccupancy returns the mean fraction of FSMs busy per cycle — the
+// utilization the §6.2.1 FSM-pool sizing targets.
+func (r *Result) AvgFSMOccupancy() float64 {
+	if r.Cycles == 0 || r.Config.FSMs == 0 {
+		return 0
+	}
+	return float64(r.FSMBusyCycles) / (float64(r.Cycles) * float64(r.Config.FSMs))
 }
 
 // LatencyCDF returns latency values at the given quantiles (0..1).
@@ -183,6 +233,7 @@ func Simulate(m *rqrmi.Model, ix rqrmi.Index, trace []keys.Value, cfg Config) (*
 			if !f.busy {
 				continue
 			}
+			res.FSMBusyCycles++ // busy at cycle start, even if retiring now
 			if f.lo >= f.hi {
 				// Search complete: publish and free this cycle.
 				res.Latencies[f.query] = uint32(cycle - f.injected)
@@ -281,6 +332,7 @@ func Simulate(m *rqrmi.Model, ix rqrmi.Index, trace []keys.Value, cfg Config) (*
 		}
 	}
 	res.Cycles = cycle
+	res.publish()
 	return res, nil
 }
 

@@ -141,7 +141,14 @@ func (m *Model) Predict(k keys.Value) Prediction {
 // the entry containing k and the number of index probes the binary search
 // made.
 func (m *Model) Lookup(ix Index, k keys.Value) (idx, probes int) {
-	p := m.Predict(k)
+	return m.Search(ix, k, m.Predict(k))
+}
+
+// Search runs the bounded secondary search for k given its prediction p
+// (which must come from Predict on the same key). Splitting inference from
+// the search lets callers that need the Prediction — the engine's
+// instrumented lookup, the hardware simulator — run inference exactly once.
+func (m *Model) Search(ix Index, k keys.Value, p Prediction) (idx, probes int) {
 	lo, hi := p.Index-p.Err, p.Index+p.Err
 	if lo < 0 {
 		lo = 0

@@ -8,6 +8,28 @@ import (
 	"time"
 
 	"neurolpm/internal/keys"
+	"neurolpm/internal/telemetry"
+)
+
+// Training telemetry: the distributions the paper's training-time argument
+// rests on (§5.2.1 error bounds, §6.5 straggler trade-off) as live metrics.
+// Loss is observed in nano-units (loss × 1e9) so the log₂ histogram
+// resolves the 1e-3..1e-8 MSE range.
+var (
+	metTrainRuns = telemetry.Default.Counter("neurolpm_train_runs_total",
+		"RQRMI training runs")
+	metTrainNs = telemetry.Default.Counter("neurolpm_train_ns_total",
+		"Nanoseconds spent in RQRMI training")
+	metTrainSubmodelErr = telemetry.Default.Histogram("neurolpm_train_submodel_err",
+		"Final-stage submodel error bounds (paper §5.2.1)")
+	metTrainLossNano = telemetry.Default.Histogram("neurolpm_train_loss_nano",
+		"Final-epoch MSE loss per submodel, in units of 1e-9")
+	metTrainRespSize = telemetry.Default.Histogram("neurolpm_train_responsibility_entries",
+		"Index entries per final-stage submodel responsibility (paper §5.2)")
+	metTrainRetrained = telemetry.Default.Counter("neurolpm_train_retrain_rounds_total",
+		"Extra training rounds spent on straggler submodels (paper §6.5)")
+	metTrainStragglers = telemetry.Default.Counter("neurolpm_train_stragglers_total",
+		"Submodels still above TargetErr after MaxRounds (paper §6.5)")
 )
 
 // Config controls RQRMI training. The zero value is not usable; start from
@@ -132,7 +154,11 @@ func Train(ix Index, width int, cfg Config) (*Model, *Stats, error) {
 			go func(j int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				lut, retrained := trainSubmodel(ix, width, cfg, resp[j], final, int64(s)<<32|int64(j))
+				lut, retrained, loss := trainSubmodel(ix, width, cfg, resp[j], final, int64(s)<<32|int64(j))
+				if final {
+					metTrainLossNano.Observe(uint64(loss * 1e9))
+					metTrainRespSize.ObserveInt(respEntries(ix, resp[j]))
+				}
 				mu.Lock()
 				m.Stages[s][j] = lut
 				stats.Retrained += retrained
@@ -159,6 +185,7 @@ func Train(ix Index, width int, cfg Config) (*Model, *Stats, error) {
 			for j := range m.Stages[s] {
 				e := int(m.Stages[s][j].Err)
 				stats.SubmodelErrs = append(stats.SubmodelErrs, e)
+				metTrainSubmodelErr.ObserveInt(e)
 				if e > cfg.TargetErr {
 					stats.Stragglers++
 				}
@@ -167,33 +194,49 @@ func Train(ix Index, width int, cfg Config) (*Model, *Stats, error) {
 		stats.StageDuration[s] = time.Since(stageStart)
 	}
 	stats.Duration = time.Since(start)
+	metTrainRuns.Inc()
+	metTrainNs.Add(uint64(stats.Duration.Nanoseconds()))
+	metTrainRetrained.Add(uint64(stats.Retrained))
+	metTrainStragglers.Add(uint64(stats.Stragglers))
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
 	return m, stats, nil
 }
 
+// respEntries counts the index entries a responsibility covers — the size
+// of the slice of the learned array one final-stage submodel answers for.
+func respEntries(ix Index, ivs []interval) int {
+	total := 0
+	for _, iv := range ivs {
+		total += Find(ix, iv.Hi) - Find(ix, iv.Lo) + 1
+	}
+	return total
+}
+
 // trainSubmodel trains one submodel on its responsibility, compiles it, and
 // (for final-stage submodels) computes its error bound, retrying stragglers
-// per the config. It returns the LUT and how many retrain rounds ran.
-func trainSubmodel(ix Index, width int, cfg Config, ivs []interval, final bool, seed int64) (LUT, int) {
+// per the config. It returns the LUT, how many retrain rounds ran, and the
+// final epoch's mean loss of the kept network.
+func trainSubmodel(ix Index, width int, cfg Config, ivs []interval, final bool, seed int64) (LUT, int, float64) {
 	if totalSpan(ivs) == 0 {
-		return constLUT(0), 0
+		return constLUT(0), 0, 0
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ seed))
 	samples := drawSamples(ix, width, ivs, cfg.Samples, rng)
 	if len(samples) == 0 {
-		return constLUT(0), 0
+		return constLUT(0), 0, 0
 	}
 	uMin, uMax := sampleBounds(samples)
 
 	var best LUT
 	bestErr := int32(-1)
+	bestLoss := 0.0
 	rounds := 0
 	epochs := cfg.Epochs
 	for round := 0; round < maxInt(1, cfg.MaxRounds); round++ {
 		net := newMLP(uMin, uMax, rng)
-		net.train(samples, trainParams{
+		loss := net.train(samples, trainParams{
 			epochs:    epochs,
 			batchSize: cfg.BatchSize,
 			lr:        cfg.LearningRate,
@@ -203,11 +246,11 @@ func trainSubmodel(ix Index, width int, cfg Config, ivs []interval, final bool, 
 		if !final {
 			// Internal stages need no error bound: routing is recomputed
 			// analytically from whatever the stage learned.
-			return lut, rounds
+			return lut, rounds, loss
 		}
 		lut.Err = errorBound(width, &lut, ix, ivs)
 		if bestErr < 0 || lut.Err < bestErr {
-			best, bestErr = lut, lut.Err
+			best, bestErr, bestLoss = lut, lut.Err, loss
 		}
 		if bestErr <= int32(cfg.TargetErr) {
 			break
@@ -218,7 +261,7 @@ func trainSubmodel(ix Index, width int, cfg Config, ivs []interval, final bool, 
 		extra := drawSamples(ix, width, ivs, cfg.Samples, rng)
 		samples = append(samples, extra...)
 	}
-	return best, rounds
+	return best, rounds, bestLoss
 }
 
 // totalSpan returns the total key count covered by the intervals as a

@@ -1,0 +1,289 @@
+// Package serve is the HTTP surface of a NeuroLPM engine: lookups over
+// HTTP, Prometheus-format /metrics backed by the telemetry registry (also
+// published through expvar at /debug/vars), net/http/pprof, and a
+// /trace?key= endpoint returning one fully-annotated query span as JSON.
+// cmd/lpmserve wraps it into a daemon; lpmbench and lpmquery mount the
+// metrics-only subset behind their -metrics flag.
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"neurolpm/internal/cachesim"
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/telemetry"
+)
+
+// Server serves one engine. Lookups run concurrently (the engine is
+// read-only at query time); the DRAM-path memory model is either the
+// thread-safe Uncached tally or a mutex-guarded cache.
+type Server struct {
+	eng *core.Engine
+	reg *telemetry.Registry
+
+	mu    sync.Mutex // guards cache when non-nil
+	cache *cachesim.Cache
+	plain *cachesim.Uncached
+}
+
+// New wraps an engine. reg is the registry /metrics renders; pass
+// telemetry.Default to expose the engine's always-on instrumentation.
+func New(eng *core.Engine, reg *telemetry.Registry) *Server {
+	s := &Server{eng: eng, reg: reg, plain: &cachesim.Uncached{}}
+	s.plain.Stats() // initialize the tally before concurrent use
+	s.plain.Register(reg, "neurolpm_serve_dram")
+	telemetry.PublishExpvar()
+	return s
+}
+
+// UseCache routes DRAM accesses through a simulated SRAM cache (serialized
+// by a mutex — the LRU state is not lock-free) and registers its counters.
+func (s *Server) UseCache(c *cachesim.Cache) {
+	s.cache = c
+	c.Register(s.reg, "neurolpm_serve_cache")
+}
+
+// read routes one query's DRAM traffic through the configured memory model.
+func (s *Server) lookup(k keys.Value, traced bool) (core.Trace, *telemetry.Span) {
+	if s.cache != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if traced {
+			tr, sp := s.eng.LookupSpan(k, s.cache)
+			return tr, sp
+		}
+		return s.eng.LookupMem(k, s.cache), nil
+	}
+	if traced {
+		return s.eng.LookupSpan(k, s.plain)
+	}
+	return s.eng.LookupMem(k, s.plain), nil
+}
+
+// Handler returns the full mux: /lookup, /trace, /metrics, /healthz,
+// /debug/vars and /debug/pprof/*.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lookup", s.handleLookup)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mountMetrics(mux, s.reg)
+	return mux
+}
+
+// MetricsHandler returns the observability-only mux (/metrics, /debug/vars,
+// /debug/pprof/*) for tools that serve no queries, like lpmbench -metrics.
+func MetricsHandler(reg *telemetry.Registry) http.Handler {
+	telemetry.PublishExpvar()
+	mux := http.NewServeMux()
+	mountMetrics(mux, reg)
+	return mux
+}
+
+func mountMetrics(mux *http.ServeMux, reg *telemetry.Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+		writeRuntimeMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// writeRuntimeMetrics appends Go runtime gauges to a Prometheus scrape.
+func writeRuntimeMetrics(w http.ResponseWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines\n# TYPE go_goroutines gauge\ngo_goroutines %d\n",
+		runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_heap_alloc_bytes Heap bytes in use\n# TYPE go_heap_alloc_bytes gauge\ngo_heap_alloc_bytes %d\n",
+		ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles\n# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n",
+		ms.NumGC)
+}
+
+// lookupResponse is the /lookup JSON shape.
+type lookupResponse struct {
+	Key        string `json:"key"`
+	Matched    bool   `json:"matched"`
+	Action     uint64 `json:"action"`
+	SRAMProbes int    `json:"sram_probes"`
+	ErrorBound int    `json:"error_bound"`
+	BucketRead bool   `json:"bucket_read"`
+	DRAMBytes  int    `json:"dram_bytes"`
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	k, err := ParseKey(r.URL.Query().Get("key"), s.eng.Width())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, _ := s.lookup(k, false)
+	writeJSON(w, lookupResponse{
+		Key:        k.String(),
+		Matched:    tr.Matched,
+		Action:     tr.Action,
+		SRAMProbes: tr.SRAMProbes,
+		ErrorBound: tr.Prediction.Err,
+		BucketRead: tr.BucketRead,
+		DRAMBytes:  tr.DRAMBytes,
+	})
+}
+
+// traceResponse is the /trace JSON shape: the paper-units trace plus the
+// timed span.
+type traceResponse struct {
+	Lookup lookupResponse  `json:"lookup"`
+	Span   *telemetry.Span `json:"span"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	k, err := ParseKey(r.URL.Query().Get("key"), s.eng.Width())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, sp := s.lookup(k, true)
+	writeJSON(w, traceResponse{
+		Lookup: lookupResponse{
+			Key:        k.String(),
+			Matched:    tr.Matched,
+			Action:     tr.Action,
+			SRAMProbes: tr.SRAMProbes,
+			ErrorBound: tr.Prediction.Err,
+			BucketRead: tr.BucketRead,
+			DRAMBytes:  tr.DRAMBytes,
+		},
+		Span: sp,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	u := s.eng.SRAMUsage()
+	writeJSON(w, map[string]any{
+		"status":          "ok",
+		"width":           s.eng.Width(),
+		"bucketized":      s.eng.Bucketized(),
+		"ranges":          s.eng.Ranges().Len(),
+		"sram_bytes":      u.Total,
+		"dram_bytes":      s.eng.DRAMFootprint(),
+		"model_max_err":   s.eng.Model().MaxErr(),
+		"worst_case_dram": s.eng.WorstCaseDRAMAccesses(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// ParseKey accepts the key formats operators actually paste: dotted IPv4
+// (width 32), colon IPv6 (width 128), 0x-prefixed or bare hex, and decimal.
+func ParseKey(s string, width int) (keys.Value, error) {
+	if s == "" {
+		return keys.Value{}, fmt.Errorf("missing key parameter")
+	}
+	if width == 32 && strings.Count(s, ".") == 3 {
+		var b [4]uint64
+		parts := strings.Split(s, ".")
+		for i, p := range parts {
+			v, err := strconv.ParseUint(p, 10, 8)
+			if err != nil {
+				return keys.Value{}, fmt.Errorf("bad IPv4 key %q", s)
+			}
+			b[i] = v
+		}
+		return keys.FromUint64(b[0]<<24 | b[1]<<16 | b[2]<<8 | b[3]), nil
+	}
+	if strings.Contains(s, ":") {
+		if width != 128 {
+			return keys.Value{}, fmt.Errorf("IPv6 key %q on a %d-bit engine", s, width)
+		}
+		return parseHex128(strings.ReplaceAll(expandIPv6(s), ":", ""))
+	}
+	hexDigits := s
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		hexDigits = s[2:]
+		return parseHex128(hexDigits)
+	}
+	// Bare digits: decimal first, hex as fallback for a..f.
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return keys.FromUint64(v), nil
+	}
+	return parseHex128(hexDigits)
+}
+
+// parseHex128 parses up to 32 hex digits into a 128-bit key.
+func parseHex128(h string) (keys.Value, error) {
+	if h == "" || len(h) > 32 {
+		return keys.Value{}, fmt.Errorf("bad hex key %q", h)
+	}
+	if len(h) <= 16 {
+		lo, err := strconv.ParseUint(h, 16, 64)
+		if err != nil {
+			return keys.Value{}, fmt.Errorf("bad hex key %q", h)
+		}
+		return keys.FromUint64(lo), nil
+	}
+	hi, err := strconv.ParseUint(h[:len(h)-16], 16, 64)
+	if err != nil {
+		return keys.Value{}, fmt.Errorf("bad hex key %q", h)
+	}
+	lo, err := strconv.ParseUint(h[len(h)-16:], 16, 64)
+	if err != nil {
+		return keys.Value{}, fmt.Errorf("bad hex key %q", h)
+	}
+	return keys.FromParts(hi, lo), nil
+}
+
+// expandIPv6 rewrites an IPv6 literal into 32 contiguous hex digits.
+func expandIPv6(s string) string {
+	halves := strings.SplitN(s, "::", 2)
+	expand := func(part string) []string {
+		if part == "" {
+			return nil
+		}
+		return strings.Split(part, ":")
+	}
+	head := expand(halves[0])
+	var tail []string
+	if len(halves) == 2 {
+		tail = expand(halves[1])
+	}
+	groups := make([]string, 0, 8)
+	groups = append(groups, head...)
+	for i := len(head) + len(tail); i < 8; i++ {
+		groups = append(groups, "0")
+	}
+	groups = append(groups, tail...)
+	var b strings.Builder
+	for _, g := range groups {
+		for len(g) < 4 {
+			g = "0" + g
+		}
+		b.WriteString(g)
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import "sync/atomic"
+
+// padCounterShard is one stripe of a Counter, padded to a full cache line so
+// writers on different shards never share a coherence granule.
+type padCounterShard struct {
+	n atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a lock-free monotonic counter striped across cache-line-padded
+// atomic shards. The zero value is not usable; create with NewCounter or
+// through a Registry.
+type Counter struct {
+	shards []padCounterShard
+}
+
+// NewCounter returns a standalone (unregistered) counter.
+func NewCounter() *Counter {
+	return &Counter{shards: make([]padCounterShard, numShards)}
+}
+
+// Inc adds one. It returns the new value of the caller's shard — not the
+// global total — which serves as a cheap monotonic per-goroutine tick for
+// sampling decisions (e.g. observe a histogram every 64th event) without a
+// second atomic operation.
+func (c *Counter) Inc() uint64 { return c.shards[shardIndex()].n.Add(1) }
+
+// Add adds n. Like Inc it returns the caller's shard value, not the total.
+func (c *Counter) Add(n uint64) uint64 { return c.shards[shardIndex()].n.Add(n) }
+
+// Load returns the counter's current total. Concurrent with writers it is a
+// consistent-enough snapshot: every completed Add is included.
+func (c *Counter) Load() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Reset zeroes every shard. Racing writers may survive into the next epoch;
+// Reset is for simulation re-runs and warmup phases, not for hot paths.
+func (c *Counter) Reset() {
+	for i := range c.shards {
+		c.shards[i].n.Store(0)
+	}
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindHistogram
+	kindGauge
+)
+
+// entry is one named metric.
+type entry struct {
+	name string
+	help string
+	kind metricKind
+	ctr  *Counter
+	hist *Histogram
+	fn   func() float64
+}
+
+// Registry is a named collection of metrics. Metric constructors are
+// get-or-create, so independent packages can share a metric by name without
+// import cycles (e.g. the §7 invariant gauge divides a bucket-package
+// counter by a core-package counter).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry all hot-path instrumentation uses.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it if needed.
+// It panics if name is registered as a different kind — that is a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindCounter {
+			panic("telemetry: " + name + " already registered with a different kind")
+		}
+		return e.ctr
+	}
+	c := NewCounter()
+	r.add(&entry{name: name, help: help, kind: kindCounter, ctr: c})
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindHistogram {
+			panic("telemetry: " + name + " already registered with a different kind")
+		}
+		return e.hist
+	}
+	h := NewHistogram()
+	r.add(&entry{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// Gauge registers a derived metric evaluated at scrape time. Re-registering
+// the same name replaces the function (last writer wins), which lets a
+// rebuilt engine refresh its gauges.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindGauge {
+			panic("telemetry: " + name + " already registered with a different kind")
+		}
+		e.fn = fn
+		return
+	}
+	r.add(&entry{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// AttachCounter registers an existing standalone counter under name (used
+// by cachesim to expose a per-instance cache through the shared registry).
+func (r *Registry) AttachCounter(name, help string, c *Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindCounter {
+			panic("telemetry: " + name + " already registered with a different kind")
+		}
+		e.ctr = c
+		return
+	}
+	r.add(&entry{name: name, help: help, kind: kindCounter, ctr: c})
+}
+
+// add inserts an entry; callers hold r.mu.
+func (r *Registry) add(e *entry) {
+	r.entries[e.name] = e
+	r.order = append(r.order, e.name)
+	sort.Strings(r.order)
+}
+
+// snapshotEntries copies the entry list under the read lock so rendering
+// runs without holding it.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*entry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.entries[name])
+	}
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (counters, gauges, and log₂ histograms with cumulative buckets).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", e.name, e.help, e.name, e.name, e.ctr.Load())
+		case kindGauge:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", e.name, e.help, e.name, e.name, e.fn())
+		case kindHistogram:
+			s := e.hist.Snapshot()
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", e.name, e.help, e.name)
+			var cum uint64
+			for b := 0; b < numBuckets; b++ {
+				if s.Counts[b] == 0 {
+					continue
+				}
+				cum += s.Counts[b]
+				_, hi := bucketBounds(b)
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", e.name, hi, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", e.name, s.Total)
+			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", e.name, s.Sum, e.name, s.Total)
+		}
+	}
+}
+
+// Snapshot returns a flat name→value view: counters and gauges map to one
+// value; histograms expand to _count, _sum, _mean, _p50, _p99 and _max.
+// This is the expvar representation.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = float64(e.ctr.Load())
+		case kindGauge:
+			out[e.name] = e.fn()
+		case kindHistogram:
+			s := e.hist.Snapshot()
+			out[e.name+"_count"] = float64(s.Total)
+			out[e.name+"_sum"] = float64(s.Sum)
+			out[e.name+"_mean"] = s.Mean()
+			out[e.name+"_p50"] = s.Quantile(0.50)
+			out[e.name+"_p99"] = s.Quantile(0.99)
+			out[e.name+"_max"] = float64(s.Max())
+		}
+	}
+	return out
+}
+
+// publishOnce guards expvar publication: expvar panics on duplicate names.
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry through expvar under the
+// "neurolpm" variable, so /debug/vars carries the same numbers /metrics
+// does. Safe to call any number of times.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("neurolpm", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}

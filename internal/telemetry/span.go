@@ -1,0 +1,58 @@
+package telemetry
+
+import "time"
+
+// Span records one query's path through the engine as a sequence of timed
+// stages plus free-form attributes — the generalization of the engine's
+// per-call Trace struct that the /trace endpoint serializes. Spans are for
+// sampled or on-demand tracing: they allocate and read the clock, so the
+// hot lookup path only builds one when a caller asks for it.
+type Span struct {
+	Name    string         `json:"name"`
+	Start   time.Time      `json:"start"`
+	TotalNs int64          `json:"total_ns"`
+	Stages  []SpanStage    `json:"stages"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanStage is one timed phase of a span (inference, secondary search,
+// bucket fetch, ...).
+type SpanStage struct {
+	Name  string `json:"name"`
+	DurNs int64  `json:"duration_ns"`
+}
+
+// StartSpan begins a span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now(), Attrs: make(map[string]any)}
+}
+
+// Stage starts a timed phase and returns the function that ends it.
+// Safe on a nil span: the returned closure is a no-op.
+func (s *Span) Stage(name string) func() {
+	if s == nil {
+		return nopStage
+	}
+	start := time.Now()
+	return func() {
+		s.Stages = append(s.Stages, SpanStage{Name: name, DurNs: time.Since(start).Nanoseconds()})
+	}
+}
+
+var nopStage = func() {}
+
+// Set attaches an attribute. Safe on a nil span.
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.Attrs[key] = v
+}
+
+// End stamps the total duration. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.TotalNs = time.Since(s.Start).Nanoseconds()
+}

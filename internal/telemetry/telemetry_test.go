@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	if c.Load() != 0 {
+		t.Fatalf("fresh counter = %d, want 0", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after reset = %d, want 0", got)
+	}
+}
+
+func TestCounterNoAlloc(t *testing.T) {
+	c := NewCounter()
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc() }); allocs != 0 {
+		t.Fatalf("Counter.Inc allocates %.1f objects per op", allocs)
+	}
+	h := NewHistogram()
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(17) }); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f objects per op", allocs)
+	}
+}
+
+func TestHistogramExactAggregates(t *testing.T) {
+	h := NewHistogram()
+	var wantSum uint64
+	for v := uint64(0); v < 1000; v++ {
+		h.Observe(v)
+		wantSum += v
+	}
+	s := h.Snapshot()
+	if s.Total != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Total)
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if mean := s.Mean(); math.Abs(mean-float64(wantSum)/1000) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1000 observations of 8: every quantile must land in bucket [8,15].
+	for i := 0; i < 1000; i++ {
+		h.Observe(8)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < 8 || v > 15 {
+			t.Fatalf("Quantile(%v) = %v, want within [8,15]", q, v)
+		}
+	}
+	if s.Max() != 15 {
+		t.Fatalf("Max = %d, want 15 (bucket upper bound)", s.Max())
+	}
+
+	// A bimodal distribution: the median must stay in the low mode and the
+	// p99 in the high mode.
+	h2 := NewHistogram()
+	for i := 0; i < 990; i++ {
+		h2.Observe(2)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(1 << 20)
+	}
+	s2 := h2.Snapshot()
+	if v := s2.Quantile(0.5); v > 3 {
+		t.Fatalf("median = %v, want ≤ 3", v)
+	}
+	if v := s2.Quantile(0.999); v < 1<<19 {
+		t.Fatalf("p99.9 = %v, want ≥ %d", v, 1<<19)
+	}
+}
+
+func TestHistogramZeroAndEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(0)
+	s = h.Snapshot()
+	if s.Total != 1 || s.Quantile(1) != 0 {
+		t.Fatalf("zero observation: total=%d q1=%v", s.Total, s.Quantile(1))
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Fatal("get-or-create returned distinct counters for one name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Histogram("x_total", "help")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_total", "a demo counter").Add(7)
+	h := r.Histogram("demo_probes", "a demo histogram")
+	h.Observe(3)
+	h.Observe(5)
+	r.Gauge("demo_ratio", "a demo gauge", func() float64 { return 1.0 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE demo_total counter", "demo_total 7",
+		"# TYPE demo_ratio gauge", "demo_ratio 1",
+		"# TYPE demo_probes histogram",
+		`demo_probes_bucket{le="3"} 1`,
+		`demo_probes_bucket{le="7"} 2`,
+		`demo_probes_bucket{le="+Inf"} 2`,
+		"demo_probes_sum 8", "demo_probes_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	Default.Counter("expvar_demo_total", "demo").Inc()
+	PublishExpvar()
+	PublishExpvar() // second call must not panic
+	v := expvar.Get("neurolpm")
+	if v == nil {
+		t.Fatal("expvar variable not published")
+	}
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar payload is not JSON: %v", err)
+	}
+	if m["expvar_demo_total"] < 1 {
+		t.Fatalf("expvar payload missing counter: %v", m)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	sp := StartSpan("lookup")
+	end := sp.Stage("inference")
+	time.Sleep(time.Millisecond)
+	end()
+	sp.Set("probes", 9)
+	sp.End()
+	if len(sp.Stages) != 1 || sp.Stages[0].Name != "inference" {
+		t.Fatalf("stages = %+v", sp.Stages)
+	}
+	if sp.Stages[0].DurNs <= 0 || sp.TotalNs < sp.Stages[0].DurNs {
+		t.Fatalf("timing inconsistent: stage=%d total=%d", sp.Stages[0].DurNs, sp.TotalNs)
+	}
+	if _, err := json.Marshal(sp); err != nil {
+		t.Fatalf("span must be JSON-serializable: %v", err)
+	}
+
+	// All span methods must be nil-safe so the hot path can pass nil.
+	var nilSpan *Span
+	nilSpan.Stage("x")()
+	nilSpan.Set("k", 1)
+	nilSpan.End()
+}
+
+// TestConcurrentHammer drives counters and histograms from 32 goroutines
+// while a reader extracts quantiles — run under -race in CI.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		writers   = 32
+		perWriter = 20000
+	)
+	c := NewCounter()
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if q := s.Quantile(0.99); q < 0 {
+				t.Error("negative quantile")
+				return
+			}
+			_ = c.Load()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(uint64(w*perWriter+i) % 4096)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, writers*perWriter)
+	}
+	if got := h.Snapshot().Total; got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d (lost updates)", got, writers*perWriter)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			h.Observe(i & 1023)
+			i++
+		}
+	})
+}
