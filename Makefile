@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench smoke ci
+.PHONY: build vet test race bench smoke fuzz ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,17 @@ bench:
 # One fast end-to-end experiment plus the machine-readable report.
 smoke:
 	$(GO) run ./cmd/lpmbench -exp headline -json bench.json
+
+# Mirrors CI's race-and-fuzz job: race the concurrent packages, then give
+# each differential fuzz target a short budget.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -race ./internal/core ./internal/shard ./internal/telemetry
+	$(GO) test -run xxx -fuzz FuzzParseRule -fuzztime $(FUZZTIME) ./internal/lpm
+	$(GO) test -run xxx -fuzz FuzzPrefixCoverBounds -fuzztime $(FUZZTIME) ./internal/lpm
+	$(GO) test -run xxx -fuzz FuzzReadModel -fuzztime $(FUZZTIME) ./internal/rqrmi
+	$(GO) test -run xxx -fuzz FuzzEngineVsOracle -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzShardedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
 
 ci: build vet race smoke
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

@@ -236,11 +236,19 @@ func main() {
 			}
 			return experiments.DesignSpaceTable(r), nil
 		},
+		"sharded": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.ShardedThroughput(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.ShardedThroughputTable(r), nil
+		},
 	}
 	order := []string{
 		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
 		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
 		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
+		"sharded",
 	}
 
 	names := order

@@ -7,23 +7,34 @@
 // Usage:
 //
 //	lpmserve -rules rules.txt -width 32 [-bucket 8] [-model model.bin]
-//	         [-addr :8080] [-sram MB]
+//	         [-addr :8080] [-sram MB] [-shards N] [-autocommit 100ms]
+//
+// With -shards N the rule-set is partitioned by top key bits into N
+// independent sub-engines (the paper's §6 bank-parallel pipeline); /batch
+// fans a whole key batch out across them, and a background committer folds
+// inserts into the dirty shard's engine without blocking readers.
 //
 // Endpoints:
 //
 //	GET /lookup?key=10.1.2.3     one query (JSON)
+//	GET /batch?keys=a,b,c        many queries, one round-trip (also POST JSON)
 //	GET /trace?key=10.1.2.3      one fully-annotated query span (JSON)
 //	GET /metrics                 Prometheus text format
 //	GET /healthz                 engine summary
 //	GET /debug/vars              expvar (includes the "neurolpm" registry)
 //	GET /debug/pprof/...         CPU/heap/goroutine profiles
+//
+// The daemon stops on SIGINT/SIGTERM: the listener closes immediately and
+// in-flight requests drain (bounded by -drain) before the process exits.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"neurolpm/internal/cachesim"
@@ -31,6 +42,7 @@ import (
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/rqrmi"
 	"neurolpm/internal/serve"
+	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
 )
 
@@ -38,10 +50,13 @@ func main() {
 	rulesPath := flag.String("rules", "", "rule-set file (required)")
 	width := flag.Int("width", 32, "key bit width")
 	bucket := flag.Int("bucket", 8, "ranges per bucket; 0 = SRAM-only")
-	modelPath := flag.String("model", "", "model file from lpmtrain (skips training)")
+	modelPath := flag.String("model", "", "model file from lpmtrain (skips training; single-engine only)")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	sramMB := flag.Int("sram", 0, "emulate a cache of this many MB in front of DRAM (0 = uncached accounting)")
 	verify := flag.Bool("verify", false, "verify the engine against the trie oracle before serving")
+	shards := flag.Int("shards", 0, "partition the rule-set into this many sub-engines (power of two; 0 = single engine)")
+	autocommit := flag.Duration("autocommit", 100*time.Millisecond, "background commit interval for dirty shards (requires -shards)")
+	drain := flag.Duration("drain", serve.DefaultDrainTimeout, "how long to let in-flight requests finish on SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *rulesPath == "" {
@@ -57,9 +72,32 @@ func main() {
 	}
 
 	cfg := core.Config{BucketSize: *bucket, Model: rqrmi.DefaultConfig()}
+	var srv *serve.Server
+	if *shards > 0 {
+		srv = buildSharded(rs, cfg, *shards, *autocommit, *modelPath, *sramMB, *verify)
+	} else {
+		srv = buildSingle(rs, cfg, *modelPath, *sramMB, *verify)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "lpmserve: listening on %s\n", l.Addr())
+	if err := serve.Serve(l, srv.Handler(), stop, *drain); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "lpmserve: drained, shutting down")
+}
+
+// buildSingle trains (or loads) one engine over the whole rule-set.
+func buildSingle(rs *lpm.RuleSet, cfg core.Config, modelPath string, sramMB int, verify bool) *serve.Server {
 	var eng *core.Engine
-	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
+	var err error
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -81,7 +119,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lpmserve: trained %d rules in %v (max err %d)\n",
 			rs.Len(), time.Since(start).Round(time.Millisecond), eng.Model().MaxErr())
 	}
-	if *verify {
+	if verify {
 		if err := eng.Verify(); err != nil {
 			fatal("verification failed: %v", err)
 		}
@@ -89,11 +127,11 @@ func main() {
 	}
 
 	srv := serve.New(eng, telemetry.Default)
-	if *sramMB > 0 {
-		budget := *sramMB*1024*1024 - eng.SRAMUsage().Total
+	if sramMB > 0 {
+		budget := sramMB*1024*1024 - eng.SRAMUsage().Total
 		if budget <= 0 {
 			fatal("SRAM budget of %dMB is below the engine's static footprint (%d bytes)",
-				*sramMB, eng.SRAMUsage().Total)
+				sramMB, eng.SRAMUsage().Total)
 		}
 		cache, err := cachesim.New(cachesim.DefaultConfig(budget))
 		if err != nil {
@@ -103,11 +141,38 @@ func main() {
 	}
 
 	u := eng.SRAMUsage()
-	fmt.Fprintf(os.Stderr, "lpmserve: serving %d-bit LPM (%d ranges, %dB SRAM, bucketized=%v) on %s\n",
-		*width, eng.Ranges().Len(), u.Total, eng.Bucketized(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	fmt.Fprintf(os.Stderr, "lpmserve: serving %d-bit LPM (%d ranges, %dB SRAM, bucketized=%v)\n",
+		rs.Width, eng.Ranges().Len(), u.Total, eng.Bucketized())
+	return srv
+}
+
+// buildSharded partitions the rule-set and starts the background committer.
+func buildSharded(rs *lpm.RuleSet, cfg core.Config, nShards int, autocommit time.Duration, modelPath string, sramMB int, verify bool) *serve.Server {
+	if modelPath != "" {
+		fatal("-model is incompatible with -shards: each shard trains its own model")
+	}
+	if sramMB > 0 {
+		fmt.Fprintln(os.Stderr, "lpmserve: warning: -sram cache emulation is single-engine only; ignoring it in sharded mode")
+	}
+	start := time.Now()
+	sh, err := shard.BuildUpdatable(rs, cfg, nShards, 0)
+	if err != nil {
 		fatal("%v", err)
 	}
+	fmt.Fprintf(os.Stderr, "lpmserve: trained %d rules across %d shards in %v\n",
+		rs.Len(), nShards, time.Since(start).Round(time.Millisecond))
+	if verify {
+		if err := sh.Verify(); err != nil {
+			fatal("verification failed: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "lpmserve: all shards verified against the trie oracle")
+	}
+	if autocommit > 0 {
+		sh.StartAutoCommit(autocommit, 0)
+		fmt.Fprintf(os.Stderr, "lpmserve: background commit every %v\n", autocommit)
+	}
+	fmt.Fprintf(os.Stderr, "lpmserve: serving %d-bit LPM over %d shards\n", rs.Width, nShards)
+	return serve.NewSharded(sh, telemetry.Default)
 }
 
 func fatal(format string, args ...any) {

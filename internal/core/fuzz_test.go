@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/rqrmi"
+)
+
+// fuzzModel keeps per-iteration training in the low milliseconds.
+func fuzzModel() rqrmi.Config {
+	cfg := rqrmi.DefaultConfig()
+	cfg.StageWidths = []int{1, 2, 4}
+	cfg.Samples = 128
+	cfg.Epochs = 10
+	cfg.MaxRounds = 1
+	return cfg
+}
+
+// deriveFuzzRules decodes raw fuzz bytes into a valid 32-bit rule-set:
+// 6 bytes per rule (4 prefix, 1 length, 1 action), wildcard bits masked,
+// duplicates dropped, capped at 48 rules.
+func deriveFuzzRules(data []byte) []lpm.Rule {
+	const width = 32
+	type pl struct {
+		p keys.Value
+		l int
+	}
+	seen := map[pl]bool{}
+	var rules []lpm.Rule
+	for i := 0; i+6 <= len(data) && len(rules) < 48; i += 6 {
+		length := 1 + int(data[i+4])%width
+		raw := uint64(data[i])<<24 | uint64(data[i+1])<<16 | uint64(data[i+2])<<8 | uint64(data[i+3])
+		prefix := keys.FromUint64(raw).Shr(uint(width - length)).Shl(uint(width - length))
+		k := pl{prefix, length}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		rules = append(rules, lpm.Rule{Prefix: prefix, Len: length, Action: uint64(data[i+5]) + 1})
+	}
+	return rules
+}
+
+// FuzzEngineVsOracle differentially fuzzes the single engine: for arbitrary
+// rule-sets and key streams the engine must equal the trie oracle on every
+// key, before and after a no-retrain deletion (the §6.5 tombstone path).
+func FuzzEngineVsOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2}, uint64(1), false)
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 64, 0, 0, 0, 1, 6}, uint64(42), true)
+	f.Add([]byte{}, uint64(0), false)
+	f.Fuzz(func(t *testing.T, data []byte, keySeed uint64, bucketized bool) {
+		const width = 32
+		rules := deriveFuzzRules(data)
+		rs, err := lpm.NewRuleSet(width, rules)
+		if err != nil {
+			t.Fatalf("derived rule-set invalid: %v", err)
+		}
+		cfg := Config{Model: fuzzModel()}
+		if bucketized {
+			cfg.BucketSize = 8
+		}
+		eng, err := Build(rs, cfg)
+		if err != nil {
+			t.Fatalf("Build(%d rules): %v", rs.Len(), err)
+		}
+		ks := make([]keys.Value, 0, 2*len(rules)+64)
+		for _, r := range rules {
+			ks = append(ks, r.Low(width), r.High(width))
+		}
+		rng := rand.New(rand.NewSource(int64(keySeed)))
+		for i := 0; i < 64; i++ {
+			ks = append(ks, keys.FromUint64(rng.Uint64()&(1<<width-1)))
+		}
+		check := func(stage string, oracle *lpm.TrieMatcher) {
+			for _, k := range ks {
+				want, wantOK := oracle.Lookup(k)
+				got, ok := eng.Lookup(k)
+				if ok != wantOK || (wantOK && got != want) {
+					t.Fatalf("%s: key %v: engine (%d,%v), oracle (%d,%v)",
+						stage, k, got, ok, want, wantOK)
+				}
+			}
+		}
+		check("fresh", lpm.NewTrieMatcher(rs))
+		if len(rules) < 2 {
+			return
+		}
+		// Delete one derived rule without retraining and re-check against an
+		// oracle over the survivors.
+		doomed := rules[int(keySeed)%len(rules)]
+		if err := eng.Delete(doomed.Prefix, doomed.Len); err != nil {
+			t.Fatalf("Delete(%v): %v", doomed, err)
+		}
+		var rest []lpm.Rule
+		for _, r := range rules {
+			if r.Prefix != doomed.Prefix || r.Len != doomed.Len {
+				rest = append(rest, r)
+			}
+		}
+		restSet, err := lpm.NewRuleSet(width, rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("post-delete", lpm.NewTrieMatcher(restSet))
+	})
+}

@@ -1,0 +1,168 @@
+// Metamorphic update tests: algebraic identities over the §6.5 update
+// paths, each checked by a full-keyspace sweep on a small domain so that
+// every range boundary and wildcard interaction is exercised, not a sample.
+package core
+
+import (
+	"testing"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+)
+
+// sweepWidth keeps full-keyspace sweeps cheap: 2^10 keys.
+const sweepWidth = 10
+
+// sweep evaluates m on every key of the width-bit domain.
+func sweep(width int, m lpm.Matcher) []Result {
+	out := make([]Result, 1<<width)
+	for i := range out {
+		out[i].Action, out[i].Matched = m.Lookup(keys.FromUint64(uint64(i)))
+	}
+	return out
+}
+
+// Result mirrors one lookup's outcome for sweep comparison.
+type Result struct {
+	Action  uint64
+	Matched bool
+}
+
+func diffSweeps(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: key %#x: got (%d,%v), want (%d,%v)",
+				label, i, got[i].Action, got[i].Matched, want[i].Action, want[i].Matched)
+		}
+	}
+}
+
+type matcherFunc func(keys.Value) (uint64, bool)
+
+func (f matcherFunc) Lookup(k keys.Value) (uint64, bool) { return f(k) }
+
+// freshRule returns a rule not present in rs.
+func freshRule(rs *lpm.RuleSet) lpm.Rule {
+	r := lpm.Rule{Prefix: keys.FromUint64(0b1010100000), Len: 7, Action: 9999}
+	for rs.Find(r.Prefix, r.Len) != lpm.NoMatch {
+		r.Len--
+		r.Prefix = r.Prefix.Shr(uint(sweepWidth - r.Len)).Shl(uint(sweepWidth - r.Len))
+	}
+	return r
+}
+
+// TestMetamorphicInsertThenDeleteIsIdentity: inserting a rule and deleting
+// it again must leave the observable lookup function unchanged — both when
+// the rule is still in the delta buffer and after it was committed into the
+// engine (tombstone path).
+func TestMetamorphicInsertThenDeleteIsIdentity(t *testing.T) {
+	rs := randomRuleSet(t, sweepWidth, 40, 21)
+	eng, err := Build(rs, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUpdatable(eng, 0)
+	before := sweep(sweepWidth, matcherFunc(u.Lookup))
+	r := freshRule(rs)
+
+	// Delta path: insert + delete without a commit in between.
+	if err := u.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Delete(r.Prefix, r.Len); err != nil {
+		t.Fatal(err)
+	}
+	diffSweeps(t, "delta insert+delete", sweep(sweepWidth, matcherFunc(u.Lookup)), before)
+
+	// Committed path: insert, commit (retrain), then tombstone-delete.
+	if err := u.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Delete(r.Prefix, r.Len); err != nil {
+		t.Fatal(err)
+	}
+	diffSweeps(t, "committed insert+delete", sweep(sweepWidth, matcherFunc(u.Lookup)), before)
+}
+
+// TestMetamorphicModifyActionWithoutRetrain: ModifyAction must change the
+// lookup function exactly as the oracle over the modified rule-set says,
+// while leaving the engine instance (hence the trained model) untouched.
+func TestMetamorphicModifyActionWithoutRetrain(t *testing.T) {
+	rs := randomRuleSet(t, sweepWidth, 40, 22)
+	eng, err := Build(rs, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUpdatable(eng, 0)
+	target := rs.Rules[len(rs.Rules)/2]
+	const newAction = 777777
+
+	engineBefore := u.Engine()
+	if err := u.ModifyAction(target.Prefix, target.Len, newAction); err != nil {
+		t.Fatal(err)
+	}
+	if u.Engine() != engineBefore {
+		t.Fatal("ModifyAction replaced the engine (retrained)")
+	}
+
+	modified := rs.Clone()
+	for i := range modified.Rules {
+		if modified.Rules[i].Prefix == target.Prefix && modified.Rules[i].Len == target.Len {
+			modified.Rules[i].Action = newAction
+		}
+	}
+	oracle := lpm.NewTrieMatcher(modified)
+	diffSweeps(t, "modify-action", sweep(sweepWidth, matcherFunc(u.Lookup)), sweep(sweepWidth, oracle))
+}
+
+// TestMetamorphicCommitEqualsFreshBuild: committing pending insertions must
+// yield the same lookup function as building a fresh engine over the merged
+// rule-set (and hence as the oracle).
+func TestMetamorphicCommitEqualsFreshBuild(t *testing.T) {
+	rs := randomRuleSet(t, sweepWidth, 30, 23)
+	eng, err := Build(rs, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUpdatable(eng, 0)
+	extra := randomRuleSet(t, sweepWidth, 50, 77) // superset pool to draw news from
+	var added []lpm.Rule
+	for _, r := range extra.Rules {
+		if rs.Find(r.Prefix, r.Len) != lpm.NoMatch {
+			continue
+		}
+		r.Action += 100000
+		if err := u.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, r)
+		if len(added) == 10 {
+			break
+		}
+	}
+	if len(added) == 0 {
+		t.Fatal("no fresh rules to insert")
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.PendingInserts(); got != 0 {
+		t.Fatalf("pending after commit: %d", got)
+	}
+
+	merged, err := lpm.NewRuleSet(sweepWidth, append(append([]lpm.Rule(nil), rs.Rules...), added...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(merged, quickSRAMOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweep(sweepWidth, matcherFunc(fresh.Lookup))
+	diffSweeps(t, "commit vs fresh build", sweep(sweepWidth, matcherFunc(u.Lookup)), want)
+	diffSweeps(t, "fresh build vs oracle", want, sweep(sweepWidth, lpm.NewTrieMatcher(merged)))
+}

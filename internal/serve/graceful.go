@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long Serve waits for in-flight requests
+// after a shutdown signal before forcing connections closed.
+const DefaultDrainTimeout = 10 * time.Second
+
+// Serve runs h on the listener until an error or a value on stop, then
+// drains: http.Server.Shutdown stops accepting, lets in-flight requests
+// (lookups, batch fan-outs, metric scrapes) finish within drainTimeout, and
+// closes idle connections. A clean drain returns nil — the daemon's signal
+// handler can distinguish "told to stop" from "fell over".
+//
+// The stop channel is generic so callers pass a signal.Notify channel
+// (SIGINT/SIGTERM in cmd/lpmserve) and tests pass a plain channel.
+func Serve(l net.Listener, h http.Handler, stop <-chan os.Signal, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; surface whatever broke the accept loop.
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	// The accept loop exits with ErrServerClosed after Shutdown; anything
+	// else is a real failure that raced the signal.
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

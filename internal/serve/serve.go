@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -20,14 +21,18 @@ import (
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
 	"neurolpm/internal/keys"
+	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
 )
 
-// Server serves one engine. Lookups run concurrently (the engine is
-// read-only at query time); the DRAM-path memory model is either the
-// thread-safe Uncached tally or a mutex-guarded cache.
+// Server serves one engine — or, in sharded mode, a ShardedUpdatable whose
+// per-shard balance and rebuild telemetry ride the same /metrics surface.
+// Lookups run concurrently (engines are read-only at query time; sharded
+// commits swap snapshots atomically); the DRAM-path memory model is either
+// the thread-safe Uncached tally or a mutex-guarded cache.
 type Server struct {
-	eng *core.Engine
+	eng *core.Engine            // single-engine mode; nil in sharded mode
+	sh  *shard.ShardedUpdatable // sharded mode; nil in single-engine mode
 	reg *telemetry.Registry
 
 	mu    sync.Mutex // guards cache when non-nil
@@ -43,6 +48,26 @@ func New(eng *core.Engine, reg *telemetry.Registry) *Server {
 	s.plain.Register(reg, "neurolpm_serve_dram")
 	telemetry.PublishExpvar()
 	return s
+}
+
+// NewSharded wraps a sharded updatable engine: /lookup and /batch route
+// through the shard fan-out (and see pending delta-buffer rules), /trace
+// spans the key's sub-engine, /healthz aggregates across shards. The
+// simulated-cache path is a single-engine feature and is not available.
+func NewSharded(sh *shard.ShardedUpdatable, reg *telemetry.Registry) *Server {
+	s := &Server{sh: sh, reg: reg, plain: &cachesim.Uncached{}}
+	s.plain.Stats()
+	s.plain.Register(reg, "neurolpm_serve_dram")
+	telemetry.PublishExpvar()
+	return s
+}
+
+// width returns the served key bit width in either mode.
+func (s *Server) width() int {
+	if s.sh != nil {
+		return s.sh.Width()
+	}
+	return s.eng.Width()
 }
 
 // UseCache routes DRAM accesses through a simulated SRAM cache (serialized
@@ -69,11 +94,12 @@ func (s *Server) lookup(k keys.Value, traced bool) (core.Trace, *telemetry.Span)
 	return s.eng.LookupMem(k, s.plain), nil
 }
 
-// Handler returns the full mux: /lookup, /trace, /metrics, /healthz,
-// /debug/vars and /debug/pprof/*.
+// Handler returns the full mux: /lookup, /batch, /trace, /metrics,
+// /healthz, /debug/vars and /debug/pprof/*.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", s.handleLookup)
+	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mountMetrics(mux, s.reg)
@@ -127,9 +153,14 @@ type lookupResponse struct {
 }
 
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
-	k, err := ParseKey(r.URL.Query().Get("key"), s.eng.Width())
+	k, err := ParseKey(r.URL.Query().Get("key"), s.width())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.sh != nil {
+		action, ok := s.sh.Lookup(k)
+		writeJSON(w, lookupResponse{Key: k.String(), Matched: ok, Action: action})
 		return
 	}
 	tr, _ := s.lookup(k, false)
@@ -152,12 +183,22 @@ type traceResponse struct {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	k, err := ParseKey(r.URL.Query().Get("key"), s.eng.Width())
+	k, err := ParseKey(r.URL.Query().Get("key"), s.width())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tr, sp := s.lookup(k, true)
+	var (
+		tr core.Trace
+		sp *telemetry.Span
+	)
+	if s.sh != nil {
+		// Span the key's sub-engine directly; the delta-buffer overlay is
+		// not part of the traced hardware path.
+		tr, sp = s.sh.Engine(s.sh.ShardOf(k)).LookupSpan(k, s.plain)
+	} else {
+		tr, sp = s.lookup(k, true)
+	}
 	writeJSON(w, traceResponse{
 		Lookup: lookupResponse{
 			Key:        k.String(),
@@ -172,7 +213,96 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// MaxBatchKeys bounds one /batch request; larger workloads should stream
+// several batches (each already amortizes the per-call overhead).
+const MaxBatchKeys = 65536
+
+// batchResponse is the /batch JSON shape. Results are positional.
+type batchResponse struct {
+	Count   int           `json:"count"`
+	Results []batchResult `json:"results"`
+}
+
+type batchResult struct {
+	Key     string `json:"key"`
+	Matched bool   `json:"matched"`
+	Action  uint64 `json:"action"`
+}
+
+// handleBatch resolves many keys in one request: GET /batch?keys=a,b,c or
+// POST /batch with {"keys": ["10.0.0.1", ...]}. In sharded mode the batch
+// fans out across the shard worker pool; in single-engine mode it loops the
+// engine — either way one HTTP round-trip amortizes over the whole batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var raw []string
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("keys")
+		if q == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("missing keys parameter"))
+			return
+		}
+		raw = strings.Split(q, ",")
+	case http.MethodPost:
+		var body struct {
+			Keys []string `json:"keys"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		raw = body.Keys
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return
+	}
+	if len(raw) == 0 || len(raw) > MaxBatchKeys {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch must carry 1..%d keys, got %d", MaxBatchKeys, len(raw)))
+		return
+	}
+	ks := make([]keys.Value, len(raw))
+	for i, txt := range raw {
+		k, err := ParseKey(strings.TrimSpace(txt), s.width())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: %w", i, err))
+			return
+		}
+		ks[i] = k
+	}
+	resp := batchResponse{Count: len(ks), Results: make([]batchResult, len(ks))}
+	if s.sh != nil {
+		for i, res := range s.sh.LookupBatch(ks) {
+			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
+		}
+	} else {
+		for i, k := range ks {
+			tr, _ := s.lookup(k, false)
+			resp.Results[i] = batchResult{Key: k.String(), Matched: tr.Matched, Action: tr.Action}
+		}
+	}
+	writeJSON(w, resp)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.sh != nil {
+		sramBytes, dramBytes, ranges := 0, 0, 0
+		for i := 0; i < s.sh.Shards(); i++ {
+			e := s.sh.Engine(i)
+			sramBytes += e.SRAMUsage().Total
+			dramBytes += e.DRAMFootprint()
+			ranges += e.Ranges().Len()
+		}
+		writeJSON(w, map[string]any{
+			"status":          "ok",
+			"width":           s.sh.Width(),
+			"shards":          s.sh.Shards(),
+			"ranges":          ranges,
+			"sram_bytes":      sramBytes,
+			"dram_bytes":      dramBytes,
+			"pending_inserts": s.sh.PendingInserts(),
+		})
+		return
+	}
 	u := s.eng.SRAMUsage()
 	writeJSON(w, map[string]any{
 		"status":          "ok",

@@ -31,7 +31,7 @@ func quickConfig(bucketized bool) core.Config {
 	return cfg
 }
 
-func buildTestEngine(t testing.TB, bucketized bool) *core.Engine {
+func buildTestRuleSet(t testing.TB) *lpm.RuleSet {
 	t.Helper()
 	rng := rand.New(rand.NewSource(4))
 	seen := map[string]bool{}
@@ -51,7 +51,12 @@ func buildTestEngine(t testing.TB, bucketized bool) *core.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := core.Build(rs, quickConfig(bucketized))
+	return rs
+}
+
+func buildTestEngine(t testing.TB, bucketized bool) *core.Engine {
+	t.Helper()
+	e, err := core.Build(buildTestRuleSet(t), quickConfig(bucketized))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"testing"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+)
+
+// Benchmarks decompose batch throughput: engine lookup vs routed lookup vs
+// the full LookupBatch machinery. Run with -bench=. -benchmem.
+
+func benchSetup(b *testing.B, nShards int) (*core.Engine, *Sharded, []keys.Value) {
+	b.Helper()
+	rs := randomRuleSet(b, 32, 4096, 7)
+	eng, err := core.Build(rs, quickBucketed())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := Build(rs, quickBucketed(), nShards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sh.Close)
+	return eng, sh, randomKeys(32, 4096, 9)
+}
+
+func BenchmarkSingleEngineLookup(b *testing.B) {
+	eng, _, ks := benchSetup(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Lookup(ks[i%len(ks)])
+	}
+}
+
+func BenchmarkShardedLookup(b *testing.B) {
+	_, sh, ks := benchSetup(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Lookup(ks[i%len(ks)])
+	}
+}
+
+func BenchmarkShardedLookupBatch256(b *testing.B) {
+	_, sh, ks := benchSetup(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 256 {
+		lo := i % (len(ks) - 256)
+		sh.LookupBatch(ks[lo : lo+256])
+	}
+}
+
+func BenchmarkShardedLookupBatch256NoPoolDirect(b *testing.B) {
+	// Upper bound: direct per-shard engine calls in grouped order, no
+	// grouping machinery at all.
+	_, sh, ks := benchSetup(b, 4)
+	groups := make([][]keys.Value, sh.Shards())
+	for _, k := range ks {
+		s := sh.ShardOf(k)
+		groups[s] = append(groups[s], k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		for s, g := range groups {
+			for _, k := range g {
+				sh.engines[s].Lookup(k)
+				i++
+			}
+		}
+	}
+}

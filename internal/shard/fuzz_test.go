@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/rqrmi"
+)
+
+// fuzzModel is deliberately tiny: each fuzz execution trains a fresh model
+// per shard, so the budget per iteration must stay in the low milliseconds.
+func fuzzModel() rqrmi.Config {
+	cfg := rqrmi.DefaultConfig()
+	cfg.StageWidths = []int{1, 2, 4}
+	cfg.Samples = 128
+	cfg.Epochs = 10
+	cfg.MaxRounds = 1
+	return cfg
+}
+
+// deriveRules decodes raw fuzz bytes into a valid width-bit rule-set:
+// 6 bytes per rule (4 prefix, 1 length, 1 action), wildcard bits masked,
+// duplicates dropped, capped at 48 rules so training stays fast.
+func deriveRules(width int, data []byte) []lpm.Rule {
+	type pl struct {
+		p keys.Value
+		l int
+	}
+	seen := map[pl]bool{}
+	var rules []lpm.Rule
+	for i := 0; i+6 <= len(data) && len(rules) < 48; i += 6 {
+		length := 1 + int(data[i+4])%width
+		raw := uint64(data[i])<<24 | uint64(data[i+1])<<16 | uint64(data[i+2])<<8 | uint64(data[i+3])
+		prefix := keys.FromUint64(raw).And(keys.MaxValue(width))
+		prefix = prefix.Shr(uint(width - length)).Shl(uint(width - length))
+		k := pl{prefix, length}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		rules = append(rules, lpm.Rule{Prefix: prefix, Len: length, Action: uint64(data[i+5]) + 1})
+	}
+	return rules
+}
+
+// FuzzShardedVsOracle is the differential fuzz target: for arbitrary
+// rule-sets, shard counts and key streams, the sharded engine (batch and
+// single-key paths) must agree with the trie oracle on every key — the
+// CLAUDE.md correctness invariant under adversarial partitioning.
+func FuzzShardedVsOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2}, uint64(1), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 64, 0, 0, 0, 1, 6}, uint64(42), uint8(2))
+	f.Add([]byte{}, uint64(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, keySeed uint64, shardSel uint8) {
+		const width = 32
+		rules := deriveRules(width, data)
+		rs, err := lpm.NewRuleSet(width, rules)
+		if err != nil {
+			t.Fatalf("derived rule-set invalid: %v", err)
+		}
+		nShards := []int{2, 4, 8}[int(shardSel)%3]
+		s, err := Build(rs, core.Config{BucketSize: 8, Model: fuzzModel()}, nShards)
+		if err != nil {
+			t.Fatalf("Build(%d shards, %d rules): %v", nShards, rs.Len(), err)
+		}
+		defer s.Close()
+		oracle := lpm.NewTrieMatcher(rs)
+		ks := make([]keys.Value, 0, 2*len(rules)+64)
+		for _, r := range rules {
+			ks = append(ks, r.Low(width), r.High(width))
+		}
+		rng := rand.New(rand.NewSource(int64(keySeed)))
+		for i := 0; i < 64; i++ {
+			ks = append(ks, keys.FromUint64(rng.Uint64()&(1<<width-1)))
+		}
+		batch := s.LookupBatch(ks)
+		for i, k := range ks {
+			want, wantOK := oracle.Lookup(k)
+			if batch[i].Matched != wantOK || (wantOK && batch[i].Action != want) {
+				t.Fatalf("%d shards, key %v: batch (%d,%v), oracle (%d,%v)",
+					nShards, k, batch[i].Action, batch[i].Matched, want, wantOK)
+			}
+			got, ok := s.Lookup(k)
+			if ok != wantOK || (wantOK && got != want) {
+				t.Fatalf("%d shards, key %v: Lookup (%d,%v), oracle (%d,%v)",
+					nShards, k, got, ok, want, wantOK)
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"neurolpm/internal/telemetry"
+)
+
+// padUint64 is a cache-line-padded counter, one per shard, so concurrent
+// batch workers tallying different shards never share a coherence granule.
+type padUint64 struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// pool is a fixed set of workers draining a job channel — the software
+// analogue of the paper's fixed complement of binary-search FSMs (§6.2):
+// capacity is provisioned once, work queues when all units are busy.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+func newPool(workers int) *pool {
+	p := &pool{jobs: make(chan func(), workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit blocks until a worker accepts the job.
+func (p *pool) submit(f func()) { p.jobs <- f }
+
+// close stops the workers after the queue drains. Idempotent.
+func (p *pool) close() {
+	p.once.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}
+
+// Batch and rebuild telemetry, registered alongside the core engine metrics
+// (DESIGN.md §8 carries the metric → paper-section map).
+var (
+	metBatches = telemetry.Default.Counter("neurolpm_shard_batches_total",
+		"LookupBatch calls served by a sharded engine")
+	metBatchKeys = telemetry.Default.Counter("neurolpm_shard_batch_keys_total",
+		"Keys resolved through LookupBatch")
+	metBatchSize = telemetry.Default.Histogram("neurolpm_shard_batch_size",
+		"Keys per LookupBatch call")
+	metRebuildMs = telemetry.Default.Histogram("neurolpm_shard_rebuild_ms",
+		"Per-shard background rebuild (retrain + swap) duration in milliseconds (§6.5)")
+	metCommits = telemetry.Default.Counter("neurolpm_shard_commits_total",
+		"Per-shard commits (background auto-commit and explicit)")
+	metCommitErrs = telemetry.Default.Counter("neurolpm_shard_commit_errors_total",
+		"Per-shard commits that failed (rule-set invalid or training error)")
+)

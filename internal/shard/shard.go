@@ -1,0 +1,374 @@
+// Package shard partitions a NeuroLPM rule-set by the top bits of the key
+// into independent sub-engines, mirroring the paper's hardware parallelism:
+// §6's design replicates inference pipelines and spreads the RQ Array over
+// banked SRAM (Fig 6a) so many queries resolve concurrently. In software the
+// same move buys two things:
+//
+//   - throughput: LookupBatch groups a batch of keys by shard and fans the
+//     groups out over a worker pool, so per-call overhead is amortized and
+//     each worker walks one shard-local RQ Array that is a fraction of the
+//     global one (better cache residency, smaller error bounds, fewer
+//     secondary-search probes);
+//   - incremental updates: a rule insertion only retrains the shard it
+//     lands in (ShardedUpdatable), never the full model — the §6.5 rebuild
+//     cost divided by the shard count.
+//
+// Correctness is preserved by replication: a rule shorter than the shard
+// prefix is installed in every shard it covers (exactly like a route
+// replicated across SRAM banks), so each shard answers queries for its key
+// slice identically to the global engine. The differential fuzz target
+// FuzzShardedVsOracle and the full-keyspace metamorphic tests enforce the
+// CLAUDE.md invariant — sharded results equal the trie oracle on every key.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/telemetry"
+)
+
+// Result is one LookupBatch answer.
+type Result struct {
+	Action  uint64
+	Matched bool
+}
+
+// MaxShardBits bounds the partition so replication of short rules cannot
+// explode: 2^10 sub-engines is far past any plausible core count.
+const MaxShardBits = 10
+
+// Sharded is an immutable sharded engine: 2^shardBits independent
+// sub-engines, each built over the rules covering its key slice. It is safe
+// for concurrent lookups. For an updatable variant see ShardedUpdatable.
+type Sharded struct {
+	router
+	engines []*core.Engine
+}
+
+// router holds the key→shard mapping and the batch fan-out machinery shared
+// by Sharded and ShardedUpdatable.
+type router struct {
+	width     int
+	shardBits int
+	pool      *pool
+	loads     []padUint64 // per-shard lookups served (balance telemetry)
+}
+
+// Build partitions the rule-set into nShards sub-engines (a power of two,
+// ≥ 1) and trains each independently. Empty shards get a valid empty engine,
+// so routing never needs a nil check.
+func Build(rs *lpm.RuleSet, cfg core.Config, nShards int) (*Sharded, error) {
+	r, parts, err := plan(rs, nShards)
+	if err != nil {
+		return nil, err
+	}
+	engines, err := buildEngines(rs.Width, cfg, parts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{router: r, engines: engines}
+	s.registerGauges(func(i int) int { return engines[i].Ranges().Len() })
+	return s, nil
+}
+
+// plan validates the shard count and returns the router plus the per-shard
+// rule partition.
+func plan(rs *lpm.RuleSet, nShards int) (router, [][]lpm.Rule, error) {
+	if rs == nil {
+		return router{}, nil, fmt.Errorf("shard: nil rule-set")
+	}
+	if nShards < 1 || nShards&(nShards-1) != 0 {
+		return router{}, nil, fmt.Errorf("shard: shard count %d is not a power of two ≥ 1", nShards)
+	}
+	bits := 0
+	for 1<<bits < nShards {
+		bits++
+	}
+	if bits > MaxShardBits {
+		return router{}, nil, fmt.Errorf("shard: %d shards exceeds the 2^%d limit", nShards, MaxShardBits)
+	}
+	if bits >= rs.Width {
+		return router{}, nil, fmt.Errorf("shard: %d shards needs %d key bits, rule-set width is %d", nShards, bits, rs.Width)
+	}
+	r := router{
+		width:     rs.Width,
+		shardBits: bits,
+		loads:     make([]padUint64, nShards),
+	}
+	if workers := min(nShards, runtime.GOMAXPROCS(0)); workers > 1 {
+		r.pool = newPool(workers)
+	}
+	return r, partition(rs, bits), nil
+}
+
+// partition assigns every rule to the shards it covers. Rules at least
+// shardBits long land in exactly one shard; shorter rules are replicated
+// into each of the 2^(shardBits−len) shards under their prefix.
+func partition(rs *lpm.RuleSet, shardBits int) [][]lpm.Rule {
+	parts := make([][]lpm.Rule, 1<<shardBits)
+	for _, r := range rs.Rules {
+		lo, hi := shardSpan(rs.Width, shardBits, r)
+		for s := lo; s <= hi; s++ {
+			parts[s] = append(parts[s], r)
+		}
+	}
+	return parts
+}
+
+// shardSpan returns the inclusive shard range rule r covers.
+func shardSpan(width, shardBits int, r lpm.Rule) (lo, hi int) {
+	top := int(r.Prefix.Shr(uint(width - shardBits)).Uint64())
+	if r.Len >= shardBits {
+		return top, top
+	}
+	span := 1 << (shardBits - r.Len)
+	return top, top + span - 1
+}
+
+// shardModel shallows the per-shard model: a shard learns only 1/N of the
+// key-space CDF, so the middle refinement stage of a ≥3-stage global config
+// is redundant — keeping the final stage width preserves (and with 1/N of
+// the ranges, improves) per-leaf resolution while inference drops one LUT
+// evaluation per query. This is the §6 bank model's smaller per-bank
+// pipeline, and it is where the software speedup comes from on one core.
+// Error bounds are recomputed per shard by the normal build, so correctness
+// is unaffected.
+func shardModel(cfg core.Config, nShards int) core.Config {
+	sw := cfg.Model.StageWidths
+	if nShards < 4 || len(sw) < 3 {
+		return cfg
+	}
+	cfg.Model.StageWidths = []int{1, sw[len(sw)-1]}
+	return cfg
+}
+
+// buildEngines trains one engine per partition, in parallel up to
+// GOMAXPROCS (training is the expensive step; shards are independent).
+func buildEngines(width int, cfg core.Config, parts [][]lpm.Rule) ([]*core.Engine, error) {
+	cfg = shardModel(cfg, len(parts))
+	engines := make([]*core.Engine, len(parts))
+	errs := make([]error, len(parts))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			srs, err := lpm.NewRuleSet(width, parts[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			engines[i], errs[i] = core.Build(srs, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return engines, nil
+}
+
+// Shards returns the shard count.
+func (r *router) Shards() int { return 1 << r.shardBits }
+
+// Width returns the key bit width.
+func (r *router) Width() int { return r.width }
+
+// ShardOf returns the shard index serving key k.
+func (r *router) ShardOf(k keys.Value) int {
+	return int(k.Shr(uint(r.width - r.shardBits)).Uint64())
+}
+
+// Engine returns shard i's sub-engine (read-only use: stats, tracing).
+func (s *Sharded) Engine(i int) *core.Engine { return s.engines[i] }
+
+// Lookup routes k to its shard and returns the longest-prefix action.
+func (s *Sharded) Lookup(k keys.Value) (uint64, bool) {
+	i := s.ShardOf(k)
+	s.loads[i].n.Add(1)
+	return s.engines[i].Lookup(k)
+}
+
+// LookupBatch resolves a batch of keys, grouping them by shard and fanning
+// the groups out over the worker pool. Results are positional: out[i]
+// answers ks[i]. It is safe for concurrent use.
+func (s *Sharded) LookupBatch(ks []keys.Value) []Result {
+	return s.lookupBatch(ks, func(shard int, group []int32, out []Result) {
+		e := s.engines[shard]
+		for _, idx := range group {
+			out[idx].Action, out[idx].Matched = e.Lookup(ks[idx])
+		}
+	})
+}
+
+// Close releases the worker pool. The engine stays queryable through the
+// serial path afterwards.
+func (s *Sharded) Close() { s.router.close() }
+
+// Verify checks every shard against its own analytical bound and the trie
+// oracle (expensive; tests and offline validation).
+func (s *Sharded) Verify() error {
+	for i, e := range s.engines {
+		if err := e.Verify(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// batchScratch holds the grouping buffers for one lookupBatch call; pooling
+// them keeps the hot path allocation-free apart from the caller-visible
+// result slice.
+type batchScratch struct {
+	counts, starts, fill, order, shardOf []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func grow(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// lookupBatch is the shared fan-out: bucket keys by shard (one pass to
+// count, one to place — no per-group append growth), then answer each
+// shard's group back-to-back so consecutive queries reuse that shard's
+// model and RQ-Array cache lines. lookGroup answers one shard's whole
+// group (out[idx] ← answer for ks[idx], idx ∈ group) so implementations
+// hoist the sub-engine out of the per-key loop. Groups run on the pool, or
+// serially when the pool is absent (single shard or GOMAXPROCS=1).
+func (r *router) lookupBatch(ks []keys.Value, lookGroup func(shard int, group []int32, out []Result)) []Result {
+	out := make([]Result, len(ks))
+	if len(ks) == 0 {
+		return out
+	}
+	metBatches.Inc()
+	metBatchKeys.Add(uint64(len(ks)))
+	metBatchSize.ObserveInt(len(ks))
+	n := r.Shards()
+	if n == 1 {
+		sc := scratchPool.Get().(*batchScratch)
+		whole := grow(sc.order, len(ks))
+		for i := range ks {
+			whole[i] = int32(i)
+		}
+		lookGroup(0, whole, out)
+		sc.order = whole
+		scratchPool.Put(sc)
+		r.loads[0].n.Add(uint64(len(ks)))
+		return out
+	}
+	sc := scratchPool.Get().(*batchScratch)
+	counts := grow(sc.counts, n)
+	clear(counts)
+	shardOf := grow(sc.shardOf, len(ks))
+	for i, k := range ks {
+		s := int32(r.ShardOf(k))
+		shardOf[i] = s
+		counts[s]++
+	}
+	starts := grow(sc.starts, n+1)
+	starts[0] = 0
+	for s := 0; s < n; s++ {
+		starts[s+1] = starts[s] + counts[s]
+	}
+	order := grow(sc.order, len(ks))
+	fill := grow(sc.fill, n)
+	copy(fill, starts[:n])
+	for i := range ks {
+		s := shardOf[i]
+		order[fill[s]] = int32(i)
+		fill[s]++
+	}
+	run := func(s int) {
+		group := order[starts[s]:starts[s+1]]
+		lookGroup(s, group, out)
+		r.loads[s].n.Add(uint64(len(group)))
+	}
+	if r.pool == nil {
+		for s := 0; s < n; s++ {
+			if counts[s] > 0 {
+				run(s)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < n; s++ {
+			if counts[s] == 0 {
+				continue
+			}
+			s := s
+			wg.Add(1)
+			r.pool.submit(func() { defer wg.Done(); run(s) })
+		}
+		wg.Wait()
+	}
+	*sc = batchScratch{counts: counts, starts: starts, fill: fill, order: order, shardOf: shardOf}
+	scratchPool.Put(sc)
+	return out
+}
+
+// close shuts the pool down (idempotent).
+func (r *router) close() {
+	if r.pool != nil {
+		r.pool.close()
+		r.pool = nil
+	}
+}
+
+// registerGauges publishes the balance telemetry for the most recently
+// built sharded engine (the registry's last-writer-wins gauge semantics are
+// exactly the rebuilt-engine refresh case).
+func (r *router) registerGauges(rangesOf func(i int) int) {
+	telemetry.Default.Gauge("neurolpm_shard_count",
+		"Shards in the current sharded engine",
+		func() float64 { return float64(r.Shards()) })
+	telemetry.Default.Gauge("neurolpm_shard_load_imbalance",
+		"Max/mean per-shard lookup load (1 = perfectly balanced; 0 before any lookup)",
+		func() float64 { return imbalance(r.loadCounts()) })
+	telemetry.Default.Gauge("neurolpm_shard_range_imbalance",
+		"Max/mean per-shard RQ-Array size (static partition balance)",
+		func() float64 {
+			sizes := make([]uint64, r.Shards())
+			for i := range sizes {
+				sizes[i] = uint64(rangesOf(i))
+			}
+			return imbalance(sizes)
+		})
+}
+
+// loadCounts snapshots the per-shard lookup tallies.
+func (r *router) loadCounts() []uint64 {
+	out := make([]uint64, len(r.loads))
+	for i := range r.loads {
+		out[i] = r.loads[i].n.Load()
+	}
+	return out
+}
+
+// imbalance is max/mean over the counts; 0 when all counts are zero.
+func imbalance(counts []uint64) float64 {
+	var sum, max uint64
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(max) / mean
+}

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/telemetry"
+)
+
+// TestConcurrentReadersWithBackgroundCommit is the torn-snapshot stress
+// test: readers stream LookupBatch while a writer inserts and deletes a
+// probe rule and the background committer rebuilds dirty shards. Invariants
+// checked on every read (run under -race in CI's race-and-fuzz job):
+//
+//   - the probe key always resolves to its base action or the probe-rule
+//     action — any other value would be a torn snapshot;
+//   - keys in never-written shard slices always resolve to their initial
+//     action — a commit of one shard must not disturb another;
+//   - the §7 one-fetch-per-query gauge holds: DRAM bucket fetches stay
+//     exactly one per bucketized lookup throughout the run.
+func TestConcurrentReadersWithBackgroundCommit(t *testing.T) {
+	const width = 16
+	rs := randomRuleSet(t, width, 200, 41)
+	u, err := BuildUpdatable(rs, quickBucketed(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	u.StartAutoCommit(2*time.Millisecond, 4)
+
+	// The probe: a /16 rule the writer repeatedly inserts and deletes. Its
+	// key either matches the probe action (rule present) or whatever the
+	// base rule-set says (rule absent) — precompute the base answer.
+	probe := freeProbeRule(t, rs, width)
+	baseAction, baseOK := lpm.NewTrieMatcher(rs).Lookup(probe.Prefix)
+
+	// Steady keys: resolved once up front; their shards never see writes?
+	// No — the probe's shard sees commits, so steady keys prove cross-shard
+	// isolation only when they live in other shards. Keep both kinds and
+	// assert all of them are commit-invariant (deltas only carry the probe).
+	steady := randomKeys(width, 256, 43)
+	for i, k := range steady {
+		if k == probe.Prefix { // keep steady keys commit-invariant
+			steady[i] = k.Xor(keys.FromUint64(1))
+		}
+	}
+	oracle := lpm.NewTrieMatcher(rs)
+	steadyWant := make([]sweepResult, len(steady))
+	for i, k := range steady {
+		steadyWant[i].Action, steadyWant[i].Matched = oracle.Lookup(k)
+	}
+
+	fetches := telemetry.Default.Counter("neurolpm_bucket_fetches_total", "")
+	bucketized := telemetry.Default.Counter("neurolpm_bucketized_lookups_total", "")
+	fetches0, bucketized0 := fetches.Load(), bucketized.Load()
+	// The fetch counter increments just before the bucketized-lookup counter
+	// inside one lookup, so with R in-flight readers the snapshots satisfy
+	// db ≤ df ≤ db+R; anything outside that band is a broken §7 invariant.
+	checkGauge := func() {
+		df := fetches.Load() - fetches0
+		db := bucketized.Load() - bucketized0
+		if df < db || df > db+16 {
+			t.Errorf("§7 invariant broken: %d fetches for %d bucketized lookups", df, db)
+		}
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			batch := make([]keys.Value, 0, len(steady)+1)
+			batch = append(batch, probe.Prefix)
+			batch = append(batch, steady...)
+			for n := 0; !stop.Load(); n++ {
+				res := u.LookupBatch(batch)
+				got := res[0]
+				probeSeen := got.Matched && got.Action == probe.Action
+				baseSeen := got.Matched == baseOK && (!baseOK || got.Action == baseAction)
+				if !probeSeen && !baseSeen {
+					torn.Add(1)
+				}
+				for i, want := range steadyWant {
+					if res[i+1].Action != want.Action || res[i+1].Matched != want.Matched {
+						torn.Add(1)
+					}
+				}
+				if n%64 == 0 {
+					checkGauge()
+				}
+			}
+		}(int64(r))
+	}
+
+	// Writer: insert probe → (maybe committed in background) → delete →
+	// commit cycles. Every intermediate state keeps the probe key's answer
+	// in {base, probe}.
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	cycles := 0
+	for time.Now().Before(deadline) {
+		if err := u.Insert(probe); err != nil {
+			t.Errorf("insert: %v", err)
+			break
+		}
+		time.Sleep(500 * time.Microsecond) // let the committer race the delete
+		if err := u.Delete(probe.Prefix, probe.Len); err != nil {
+			t.Errorf("delete: %v", err)
+			break
+		}
+		cycles++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := torn.Load(); got != 0 {
+		t.Fatalf("%d torn reads over %d writer cycles", got, cycles)
+	}
+	if err := u.LastCommitErr(); err != nil {
+		t.Fatalf("background commit failed: %v", err)
+	}
+	checkGauge()
+	if cycles < 10 {
+		t.Fatalf("writer made only %d cycles; stress run too short", cycles)
+	}
+}
+
+// freeProbeRule returns a full-width rule absent from rs whose action is
+// distinct from every base action.
+func freeProbeRule(t *testing.T, rs *lpm.RuleSet, width int) lpm.Rule {
+	t.Helper()
+	for p := uint64(0); p < 1<<12; p++ {
+		prefix := keys.FromUint64(p * 7919 % (1 << width))
+		if rs.Find(prefix, width) == lpm.NoMatch {
+			return lpm.Rule{Prefix: prefix, Len: width, Action: 1 << 40}
+		}
+	}
+	t.Fatal("no free probe rule")
+	return lpm.Rule{}
+}

@@ -1,0 +1,274 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+)
+
+// ShardedUpdatable is the updatable sharded engine: each shard is a
+// core.Updatable (delta buffer + atomic engine swap, §6.5), and a background
+// committer rebuilds dirty shards off the hot path. The payoff over a single
+// Updatable is that an insertion only ever retrains the shard it covers —
+// untouched shards keep their models — and readers never block: they load
+// each shard's engine through the existing atomic.Pointer snapshot, so a
+// commit is invisible except for the action change it carries.
+//
+// Updates (Insert/Delete/ModifyAction/Commit) may be called concurrently
+// with lookups, but serialize among themselves per shard; replicated rules
+// (shorter than the shard prefix) are applied to every covered shard.
+type ShardedUpdatable struct {
+	router
+	shards []*core.Updatable
+	// wmu serializes writers (Insert/Delete/ModifyAction/Commit) per shard,
+	// including across a commit's retrain. core.Updatable alone lets inserts
+	// land during a retrain, but a Delete of a rule already snapshotted by an
+	// in-flight Commit would be resurrected by the engine swap (lost update);
+	// holding the shard's writer lock for the whole commit closes that race.
+	// Readers never take these locks. Multi-shard operations (replicated
+	// rules) lock their span in ascending order, so writers cannot deadlock.
+	wmu []sync.Mutex
+
+	threshold int           // auto-commit when a shard's pending ≥ threshold
+	kick      chan struct{} // nudges the committer before the next tick
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	commitErr atomic.Pointer[error] // last background commit failure
+}
+
+// BuildUpdatable builds a sharded engine wrapped shard-by-shard in
+// core.Updatable. capacity is the per-shard delta-buffer size (≤ 0 selects
+// core.DefaultDeltaCapacity). Call Close when done (stops the background
+// committer and the batch pool).
+func BuildUpdatable(rs *lpm.RuleSet, cfg core.Config, nShards, capacity int) (*ShardedUpdatable, error) {
+	r, parts, err := plan(rs, nShards)
+	if err != nil {
+		return nil, err
+	}
+	engines, err := buildEngines(rs.Width, cfg, parts)
+	if err != nil {
+		return nil, err
+	}
+	u := &ShardedUpdatable{
+		router: r,
+		shards: make([]*core.Updatable, len(engines)),
+		wmu:    make([]sync.Mutex, len(engines)),
+		stop:   make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+	}
+	for i, e := range engines {
+		u.shards[i] = core.NewUpdatable(e, capacity)
+	}
+	u.registerGauges(func(i int) int { return u.shards[i].Engine().Ranges().Len() })
+	return u, nil
+}
+
+// Engine returns shard i's current live engine (read-only use).
+func (u *ShardedUpdatable) Engine(i int) *core.Engine { return u.shards[i].Engine() }
+
+// Lookup answers one key: the key's shard consults its delta buffer and its
+// engine, longest prefix wins.
+func (u *ShardedUpdatable) Lookup(k keys.Value) (uint64, bool) {
+	i := u.ShardOf(k)
+	u.loads[i].n.Add(1)
+	return u.shards[i].Lookup(k)
+}
+
+// LookupBatch resolves a batch positionally, fanning shard groups out over
+// the worker pool. Each key's answer is individually consistent: it reflects
+// either the pre- or post-commit state of its shard, never a mix.
+func (u *ShardedUpdatable) LookupBatch(ks []keys.Value) []Result {
+	return u.lookupBatch(ks, func(shard int, group []int32, out []Result) {
+		s := u.shards[shard]
+		for _, idx := range group {
+			out[idx].Action, out[idx].Matched = s.Lookup(ks[idx])
+		}
+	})
+}
+
+// coveredShards returns the inclusive shard range for a prefix/length.
+func (u *ShardedUpdatable) coveredShards(prefix keys.Value, length int) (int, int) {
+	return shardSpan(u.width, u.shardBits, lpm.Rule{Prefix: prefix, Len: length})
+}
+
+func (u *ShardedUpdatable) lockSpan(lo, hi int) {
+	for s := lo; s <= hi; s++ {
+		u.wmu[s].Lock()
+	}
+}
+
+func (u *ShardedUpdatable) unlockSpan(lo, hi int) {
+	for s := lo; s <= hi; s++ {
+		u.wmu[s].Unlock()
+	}
+}
+
+// Insert places r in the delta buffer of every shard it covers; queries see
+// it immediately (§6.5 TCAM-analogue), retraining happens at commit. On a
+// partial failure (e.g. one shard's buffer is full) the insertion is rolled
+// back from the shards that already accepted it.
+func (u *ShardedUpdatable) Insert(r lpm.Rule) error {
+	if err := r.Validate(u.width); err != nil {
+		return err
+	}
+	lo, hi := u.coveredShards(r.Prefix, r.Len)
+	u.lockSpan(lo, hi)
+	defer u.unlockSpan(lo, hi)
+	for s := lo; s <= hi; s++ {
+		if err := u.shards[s].Insert(r); err != nil {
+			for b := lo; b < s; b++ {
+				u.shards[b].Delete(r.Prefix, r.Len)
+			}
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	if u.threshold > 0 && u.shards[lo].PendingInserts() >= u.threshold {
+		select {
+		case u.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Delete removes the rule from every covered shard (delta buffer first,
+// then the live engine's no-retrain tombstone path).
+func (u *ShardedUpdatable) Delete(prefix keys.Value, length int) error {
+	lo, hi := u.coveredShards(prefix, length)
+	u.lockSpan(lo, hi)
+	defer u.unlockSpan(lo, hi)
+	var firstErr error
+	for s := lo; s <= hi; s++ {
+		if err := u.shards[s].Delete(prefix, length); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return firstErr
+}
+
+// ModifyAction rewrites an installed rule's action in every covered shard
+// without retraining (§6.5).
+func (u *ShardedUpdatable) ModifyAction(prefix keys.Value, length int, action uint64) error {
+	lo, hi := u.coveredShards(prefix, length)
+	u.lockSpan(lo, hi)
+	defer u.unlockSpan(lo, hi)
+	var firstErr error
+	for s := lo; s <= hi; s++ {
+		if err := u.shards[s].ModifyAction(prefix, length, action); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return firstErr
+}
+
+// PendingInserts sums the delta-buffer occupancy across shards.
+func (u *ShardedUpdatable) PendingInserts() int {
+	total := 0
+	for _, s := range u.shards {
+		total += s.PendingInserts()
+	}
+	return total
+}
+
+// Commit rebuilds shard i from its merged rule-set and swaps it in
+// atomically. Lookups proceed against the old engine for the duration.
+func (u *ShardedUpdatable) Commit(i int) error {
+	u.wmu[i].Lock()
+	defer u.wmu[i].Unlock()
+	start := time.Now()
+	err := u.shards[i].Commit()
+	metRebuildMs.ObserveInt(int(time.Since(start).Milliseconds()))
+	if err != nil {
+		metCommitErrs.Inc()
+		return fmt.Errorf("shard %d: %w", i, err)
+	}
+	metCommits.Inc()
+	return nil
+}
+
+// CommitAll commits every shard with pending insertions, sequentially (one
+// retrain's worth of CPU at a time, like the background committer).
+func (u *ShardedUpdatable) CommitAll() error {
+	var firstErr error
+	for i, s := range u.shards {
+		if s.PendingInserts() == 0 {
+			continue
+		}
+		if err := u.Commit(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// StartAutoCommit launches the background committer: every interval (and
+// immediately once any shard's pending insertions reach threshold) it
+// commits each dirty shard, one at a time, off the query path. interval ≤ 0
+// selects 100ms; threshold ≤ 0 disables the early nudge (time-based only).
+func (u *ShardedUpdatable) StartAutoCommit(interval time.Duration, threshold int) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	u.threshold = threshold
+	u.wg.Add(1)
+	go u.commitLoop(interval)
+}
+
+func (u *ShardedUpdatable) commitLoop(interval time.Duration) {
+	defer u.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-u.stop:
+			return
+		case <-t.C:
+		case <-u.kick:
+		}
+		for i, s := range u.shards {
+			if s.PendingInserts() == 0 {
+				continue
+			}
+			if err := u.Commit(i); err != nil {
+				u.commitErr.Store(&err)
+			}
+		}
+	}
+}
+
+// LastCommitErr returns the most recent background commit failure, if any.
+func (u *ShardedUpdatable) LastCommitErr() error {
+	if p := u.commitErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close stops the background committer and the batch pool. Lookups remain
+// valid afterwards (serially).
+func (u *ShardedUpdatable) Close() {
+	u.closeOnce.Do(func() {
+		close(u.stop)
+		u.wg.Wait()
+		u.router.close()
+	})
+}
+
+// Verify checks every shard's live engine against the trie oracle. Pending
+// delta-buffer rules are not part of the engines, so callers normally
+// CommitAll first.
+func (u *ShardedUpdatable) Verify() error {
+	for i, s := range u.shards {
+		if err := s.Engine().Verify(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
