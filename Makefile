@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench smoke fuzz ci
+.PHONY: build vet test race bench bench-smoke bench-json smoke fuzz ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Every benchmark compiled and run exactly once: catches bit-rotted
+# benchmark code without paying for stable measurements.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The PR-over-PR perf record: quick-scale experiment tables plus the
+# reference/compiled/batched/sharded lookup microbenchmarks as JSON.
+bench-json:
+	$(GO) run ./cmd/lpmbench -json BENCH_PR3.json
+
 # One fast end-to-end experiment plus the machine-readable report.
 smoke:
 	$(GO) run ./cmd/lpmbench -exp headline -json bench.json
@@ -32,8 +42,9 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseRule -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzPrefixCoverBounds -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzReadModel -fuzztime $(FUZZTIME) ./internal/rqrmi
+	$(GO) test -run xxx -fuzz FuzzCompiledVsModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzEngineVsOracle -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzShardedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
 
-ci: build vet race smoke
+ci: build vet race smoke bench-smoke
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

@@ -9,7 +9,7 @@
 //
 // Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
 // worstcase binsearch bitwidth updates scaling headline modelsize tss dram
-// replicas designspace worstbw all
+// replicas designspace worstbw emexpand sharded compiled all
 //
 // -json writes every experiment's table plus a headline Lookup
 // microbenchmark (ns/op, allocs/op) as machine-readable JSON, so the perf
@@ -31,6 +31,7 @@ import (
 	"neurolpm/internal/core"
 	"neurolpm/internal/experiments"
 	"neurolpm/internal/serve"
+	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
 	"neurolpm/internal/workload"
 )
@@ -45,15 +46,23 @@ type jsonExperiment struct {
 	ElapsedNs int64      `json:"elapsed_ns"`
 }
 
-// jsonBench is the headline Lookup microbenchmark.
+// jsonBench is the headline Lookup microbenchmark. ns_per_op is the
+// compiled single-key path (the default Engine.Lookup); the companion
+// fields track the pre-compilation reference path, the batched compiled
+// path, and the sharded batch fan-out, so BENCH_*.json records the whole
+// query-plane spectrum across PRs.
 type jsonBench struct {
-	Rules       int     `json:"rules"`
-	Bucketized  bool    `json:"bucketized"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	MLookupsPS  float64 `json:"mlookups_per_sec"`
+	Rules            int     `json:"rules"`
+	Bucketized       bool    `json:"bucketized"`
+	Iterations       int     `json:"iterations"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	MLookupsPS       float64 `json:"mlookups_per_sec"`
+	NsPerOpReference float64 `json:"ns_per_op_reference"`
+	NsPerOpBatch     float64 `json:"ns_per_op_batch"`
+	NsPerOpShardBat  float64 `json:"ns_per_op_sharded_batch"`
+	CompiledSpeedup  float64 `json:"compiled_speedup"` // reference / compiled ns
 }
 
 // jsonReport is the -json output shape (BENCH_*.json across PRs).
@@ -243,12 +252,19 @@ func main() {
 			}
 			return experiments.ShardedThroughputTable(r), nil
 		},
+		"compiled": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.CompiledSpeedup(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.CompiledSpeedupTable(r), nil
+		},
 	}
 	order := []string{
 		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
 		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
 		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
-		"sharded",
+		"sharded", "compiled",
 	}
 
 	names := order
@@ -297,8 +313,9 @@ func main() {
 			os.Exit(1)
 		}
 		report.LookupBench = bench
-		fmt.Printf("lookup bench: %.1f ns/op, %d allocs/op (%.2f Mlookups/s)\n",
-			bench.NsPerOp, bench.AllocsPerOp, bench.MLookupsPS)
+		fmt.Printf("lookup bench: %.1f ns/op compiled (%.1f reference, %.2fx), %.1f ns/op batched, %.1f ns/op sharded-batch, %d allocs/op\n",
+			bench.NsPerOp, bench.NsPerOpReference, bench.CompiledSpeedup,
+			bench.NsPerOpBatch, bench.NsPerOpShardBat, bench.AllocsPerOp)
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
@@ -339,14 +356,43 @@ func lookupBench(sc experiments.Scale) (*jsonBench, error) {
 			eng.Lookup(trace[i&(1<<16-1)])
 		}
 	})
+	refRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.LookupReference(trace[i&(1<<16-1)])
+		}
+	})
+	const batchN = 256
+	var out []core.BatchResult
+	batchRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i += batchN {
+			lo := i & (1<<16 - 1) & ^(batchN - 1)
+			out = eng.LookupBatch(trace[lo:lo+batchN], out)
+		}
+	})
+	sh, err := shard.Build(rs, core.Config{BucketSize: 8, Model: sc.Model}, 4)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.Close()
+	shardRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i += batchN {
+			lo := i & (1<<16 - 1) & ^(batchN - 1)
+			sh.LookupBatch(trace[lo : lo+batchN])
+		}
+	})
 	ns := float64(res.NsPerOp())
+	refNs := float64(refRes.NsPerOp())
 	return &jsonBench{
-		Rules:       rs.Len(),
-		Bucketized:  eng.Bucketized(),
-		Iterations:  res.N,
-		NsPerOp:     ns,
-		AllocsPerOp: res.AllocsPerOp(),
-		BytesPerOp:  res.AllocedBytesPerOp(),
-		MLookupsPS:  1e3 / ns,
+		Rules:            rs.Len(),
+		Bucketized:       eng.Bucketized(),
+		Iterations:       res.N,
+		NsPerOp:          ns,
+		AllocsPerOp:      res.AllocsPerOp(),
+		BytesPerOp:       res.AllocedBytesPerOp(),
+		MLookupsPS:       1e3 / ns,
+		NsPerOpReference: refNs,
+		NsPerOpBatch:     float64(batchRes.NsPerOp()),
+		NsPerOpShardBat:  float64(shardRes.NsPerOp()),
+		CompiledSpeedup:  refNs / ns,
 	}, nil
 }

@@ -61,6 +61,16 @@ type Engine struct {
 	model *rqrmi.Model
 	stats *rqrmi.Stats
 	trie  *lpm.Trie // lazily built on first Delete; indexes e.rules.Rules
+
+	// The compiled query plane (DESIGN.md §10): comp mirrors model + index
+	// in flat devirtualized storage and serves every hot lookup; the model
+	// remains the reference arithmetic (LookupReference, Verify). For
+	// bucketized engines of width ≤ 64, rangeLows64 additionally flattens
+	// the full range array's bounds — the DRAM bucket array — so the bucket
+	// scan compares bare uint64s. Both are immutable after build: updates
+	// re-own ranges or rewrite actions but never move a boundary.
+	comp        *rqrmi.Compiled
+	rangeLows64 []uint64
 }
 
 // Build runs the offline preparation stage on the rule-set.
@@ -103,7 +113,27 @@ func Build(rs *lpm.RuleSet, cfg Config) (*Engine, error) {
 	}
 	e.model = model
 	e.stats = stats
+	if err := e.compilePlane(ix); err != nil {
+		return nil, err
+	}
 	return e, nil
+}
+
+// compilePlane flattens the trained model and index into the compiled query
+// plane (plus the flat bucket-array bounds for bucketized ≤ 64-bit engines).
+func (e *Engine) compilePlane(ix rqrmi.Index) error {
+	c, err := rqrmi.Compile(e.model, ix)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.comp = c
+	if e.dir != nil && e.width <= 64 {
+		e.rangeLows64 = make([]uint64, e.ra.Len())
+		for i := range e.rangeLows64 {
+			e.rangeLows64[i] = e.ra.Entries[i].Low.Lo
+		}
+	}
+	return nil
 }
 
 // BuildWithModel assembles an engine around a previously trained and
@@ -152,6 +182,9 @@ func BuildWithModel(rs *lpm.RuleSet, cfg Config, m *rqrmi.Model, verify bool) (*
 			return nil, fmt.Errorf("core: model error bound violated at key %v", witness)
 		}
 	}
+	if err := e.compilePlane(ix); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -160,6 +193,9 @@ func (e *Engine) Width() int { return e.width }
 
 // Model exposes the trained RQRMI model (read-only use).
 func (e *Engine) Model() *rqrmi.Model { return e.model }
+
+// Compiled exposes the flat query plane serving the hot lookup path.
+func (e *Engine) Compiled() *rqrmi.Compiled { return e.comp }
 
 // TrainStats returns statistics from the build's training phase.
 func (e *Engine) TrainStats() *rqrmi.Stats { return e.stats }
@@ -224,29 +260,73 @@ func (e *Engine) LookupSpan(k keys.Value, mem cachesim.Mem) (Trace, *telemetry.S
 }
 
 // lookup is the single instrumented implementation behind Lookup, LookupMem
-// and LookupSpan: one inference, one bounded secondary search, and (for
-// bucketized engines) exactly one DRAM bucket fetch. Telemetry counters are
-// always updated; stage timings are recorded only when sp is non-nil.
+// and LookupSpan: one compiled-plane inference, one bounded secondary
+// search, and (for bucketized engines) exactly one DRAM bucket fetch.
+// Telemetry counters are always updated; stage timings are recorded only
+// when sp is non-nil.
 func (e *Engine) lookup(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trace {
 	var tr Trace
-	var cmp int
 	end := sp.Stage("inference")
-	tr.Prediction = e.model.Predict(k)
+	tr.Prediction = e.comp.Predict(k)
 	end()
-	end = sp.Stage("secondary-search")
-	if e.dir == nil {
-		tr.RangeIndex, tr.SRAMProbes = e.model.Search(e.ra, k, tr.Prediction)
-		end()
+	e.finish(k, &tr, mem, sp, false)
+	return tr
+}
+
+// bucketScan resolves k within bucket b over the flat bounds copy: the same
+// in-order hardware scan as bucket.Directory.Search (identical index and
+// comparison count), with one uint64 load per compared bound instead of a
+// 24-byte Entry.
+func (e *Engine) bucketScan(b int, k keys.Value) (idx, comparisons int) {
+	start, end := e.dir.Bounds(b)
+	kk := k.Lo
+	if k.Hi != 0 {
+		kk = ^uint64(0) // out-of-domain key: above every ≤ 64-bit bound
+	}
+	idx = start
+	for i := start + 1; i < end; i++ {
+		comparisons++
+		if kk < e.rangeLows64[i] {
+			break
+		}
+		idx = i
+	}
+	return idx, comparisons
+}
+
+// finish runs the post-inference pipeline — secondary search, bucket fetch,
+// action resolution, telemetry — shared by the compiled single-key path,
+// the compiled batch path, and the reference path (reference=true routes the
+// search through the Model/Index arithmetic instead of the compiled plane;
+// the results are bit-identical, per Verify, only the cost differs).
+// tr.Prediction must already be populated.
+func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry.Span, reference bool) {
+	end := sp.Stage("secondary-search")
+	var b int
+	if reference {
+		var ix rqrmi.Index = e.ra
+		if e.dir != nil {
+			ix = e.dir
+		}
+		b, tr.SRAMProbes = e.model.Search(ix, k, tr.Prediction)
 	} else {
-		b, probes := e.model.Search(e.dir, k, tr.Prediction)
-		end()
-		tr.SRAMProbes = probes
+		b, tr.SRAMProbes = e.comp.Search(k, tr.Prediction)
+	}
+	end()
+	var cmp int
+	if e.dir == nil {
+		tr.RangeIndex = b
+	} else {
 		end = sp.Stage("bucket-fetch")
 		addr, size := e.dir.DRAMAddr(b)
 		mem.Read(addr, size)
 		tr.BucketRead = true
 		tr.DRAMBytes = size
-		tr.RangeIndex, cmp = e.dir.Search(b, k)
+		if !reference && e.rangeLows64 != nil {
+			tr.RangeIndex, cmp = e.bucketScan(b, k)
+		} else {
+			tr.RangeIndex, cmp = e.dir.Search(b, k)
+		}
 		end()
 		metBucketized.Inc()
 	}
@@ -266,7 +346,64 @@ func (e *Engine) lookup(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trac
 			metBucketCmp.ObserveInt(cmp)
 		}
 	}
-	return tr
+}
+
+// LookupReference answers k through the pre-compilation reference path:
+// Model.Predict's pointer-chasing LUT walk and the Index-interface bounded
+// search, with the same telemetry and DRAM accounting as Lookup. Results are
+// bit-identical to Lookup — only slower — so it serves differential tests
+// and the E23 reference-vs-compiled experiment.
+func (e *Engine) LookupReference(k keys.Value) (action uint64, ok bool) {
+	var tr Trace
+	tr.Prediction = e.model.Predict(k)
+	e.finish(k, &tr, cachesim.Null{}, nil, true)
+	return tr.Action, tr.Matched
+}
+
+// BatchResult is one LookupBatch answer.
+type BatchResult struct {
+	Action  uint64
+	Matched bool
+}
+
+// batchBlock sizes LookupBatch's inference blocks; it matches the compiled
+// plane's software-pipelining width.
+const batchBlock = 16
+
+// LookupBatch resolves ks positionally: out[i] answers ks[i]. Inference runs
+// through Compiled.PredictBatch in blocks of batchBlock keys, so per-stage
+// coefficient loads overlap across keys instead of serializing per lookup;
+// the searches and bucket fetches then complete each key with the same
+// instrumented tail as Lookup. out is reused when it has capacity, so a
+// caller looping over batches performs zero allocations.
+func (e *Engine) LookupBatch(ks []keys.Value, out []BatchResult) []BatchResult {
+	return e.LookupBatchMem(ks, out, cachesim.Null{})
+}
+
+// LookupBatchMem is LookupBatch with the batch's DRAM bucket fetches routed
+// through mem (which must tolerate concurrent Read calls if the caller
+// batches concurrently).
+func (e *Engine) LookupBatchMem(ks []keys.Value, out []BatchResult, mem cachesim.Mem) []BatchResult {
+	if cap(out) < len(ks) {
+		out = make([]BatchResult, len(ks))
+	}
+	out = out[:len(ks)]
+	var preds [batchBlock]rqrmi.Prediction
+	for start := 0; start < len(ks); start += batchBlock {
+		n := len(ks) - start
+		if n > batchBlock {
+			n = batchBlock
+		}
+		blk := ks[start : start+n]
+		e.comp.PredictBatch(blk, preds[:n])
+		for i := 0; i < n; i++ {
+			var tr Trace
+			tr.Prediction = preds[i]
+			e.finish(blk[i], &tr, mem, nil, false)
+			out[start+i] = BatchResult{Action: tr.Action, Matched: tr.Matched}
+		}
+	}
+	return out
 }
 
 // resolve maps a range index to its action, honouring tombstones.
@@ -388,7 +525,8 @@ func (e *Engine) WorstCaseDRAMAccesses() int {
 }
 
 // Verify re-derives the model's error bounds analytically and checks the
-// engine end to end on every range boundary. It is expensive; intended for
+// engine end to end on every range boundary, including the compiled plane's
+// bit-identity with the reference arithmetic. It is expensive; intended for
 // tests and offline validation.
 func (e *Engine) Verify() error {
 	var ix rqrmi.Index = e.ra
@@ -397,6 +535,9 @@ func (e *Engine) Verify() error {
 	}
 	if ok, witness := e.model.Verify(ix); !ok {
 		return fmt.Errorf("core: model error bound violated at key %v", witness)
+	}
+	if err := e.verifyCompiled(ix); err != nil {
+		return err
 	}
 	liveRules := make([]lpm.Rule, 0, e.rules.Len())
 	for i, r := range e.rules.Rules {
@@ -417,6 +558,64 @@ func (e *Engine) Verify() error {
 			return fmt.Errorf("core: mismatch at %v: engine (%d,%v) oracle (%d,%v)",
 				k, got, gotOK, want, wantOK)
 		}
+		// The compiled and reference paths must resolve identically end to
+		// end (search, bucket scan, action) — not just against the oracle.
+		refGot, refOK := e.LookupReference(k)
+		if refOK != gotOK || refGot != got {
+			return fmt.Errorf("core: compiled/reference divergence at %v: compiled (%d,%v) reference (%d,%v)",
+				k, got, gotOK, refGot, refOK)
+		}
 	}
 	return nil
+}
+
+// verifyCompiled sweeps every boundary of the learned index — and the keys
+// adjacent to it — asserting the compiled plane reproduces the reference
+// float32 LUT arithmetic bit for bit: equal predictions (index, error bound,
+// submodel), equal search results, and equal probe counts, for both Predict
+// and the batched PredictBatch. This is the full-range-boundary half of the
+// bit-identity contract; FuzzCompiledVsModel covers arbitrary keys.
+func (e *Engine) verifyCompiled(ix rqrmi.Index) error {
+	dom := keys.NewDomain(e.width)
+	buf := make([]keys.Value, 0, 3*batchBlock)
+	preds := make([]rqrmi.Prediction, 3*batchBlock)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		e.comp.PredictBatch(buf, preds[:len(buf)])
+		for i, k := range buf {
+			pm := e.model.Predict(k)
+			if pc := e.comp.Predict(k); pc != pm {
+				return fmt.Errorf("core: compiled Predict(%v) = %+v, reference %+v", k, pc, pm)
+			}
+			if preds[i] != pm {
+				return fmt.Errorf("core: compiled PredictBatch(%v) = %+v, reference %+v", k, preds[i], pm)
+			}
+			im, probesM := e.model.Search(ix, k, pm)
+			ic, probesC := e.comp.Search(k, pm)
+			if im != ic || probesM != probesC {
+				return fmt.Errorf("core: compiled Search(%v) = (%d,%d), reference (%d,%d)",
+					k, ic, probesC, im, probesM)
+			}
+		}
+		buf = buf[:0]
+		return nil
+	}
+	for i := 0; i < ix.Len(); i++ {
+		b := ix.Low(i)
+		buf = append(buf, b)
+		if !b.IsZero() {
+			buf = append(buf, b.Dec())
+		}
+		if b.Less(dom.Max()) {
+			buf = append(buf, b.Inc())
+		}
+		if len(buf)+3 > cap(buf) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
 }

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/workload"
+)
+
+// CompiledCell is one row of E23, the compiled-query-plane speedup
+// experiment: the same engine queried through the reference path
+// (Model.Predict's pointer-chasing LUT walk + interface-dispatched bounded
+// search), the compiled single-key path, and the compiled batch path.
+type CompiledCell struct {
+	Path       string // "reference", "compiled", "compiled-batch"
+	BatchSize  int    // 1 for the single-key paths
+	MLookupsPS float64
+	Speedup    float64 // vs the reference row
+	Mismatches int     // disagreements with the trie oracle (must be 0)
+}
+
+// CompiledBatchSize is E23's batch unit, matching the sharded fan-out unit
+// so the two experiments' batch rows are comparable.
+const CompiledBatchSize = 256
+
+// CompiledSpeedup measures the compiled plane against the reference
+// arithmetic on one bucketized RIPE-profile engine. Every traced answer on
+// every path is checked against the trie oracle, so the table doubles as a
+// full-trace differential test of the bit-identity contract.
+func CompiledSpeedup(sc Scale) ([]CompiledCell, error) {
+	rs, err := workload.Generate(workload.Profiles()["ripe"], sc.Rules["ripe"], sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := workload.GenerateTrace(rs, workload.DefaultTrace(sc.TraceLen, sc.Seed+3))
+	if err != nil {
+		return nil, err
+	}
+	oracle := lpm.NewTrieMatcher(rs)
+	wantAction := make([]uint64, len(trace))
+	wantMatch := make([]bool, len(trace))
+	for i, k := range trace {
+		wantAction[i], wantMatch[i] = oracle.Lookup(k)
+	}
+	eng, err := core.Build(rs, sc.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	check := func(i int, a uint64, ok bool, cell *CompiledCell) {
+		if a != wantAction[i] || ok != wantMatch[i] {
+			cell.Mismatches++
+		}
+	}
+
+	ref := CompiledCell{Path: "reference", BatchSize: 1}
+	for i, k := range trace {
+		a, ok := eng.LookupReference(k)
+		check(i, a, ok, &ref)
+	}
+	ref.MLookupsPS = measureRate(trace, func(ks []keys.Value) {
+		for _, k := range ks {
+			eng.LookupReference(k)
+		}
+	})
+	ref.Speedup = 1
+
+	single := CompiledCell{Path: "compiled", BatchSize: 1}
+	for i, k := range trace {
+		a, ok := eng.Lookup(k)
+		check(i, a, ok, &single)
+	}
+	single.MLookupsPS = measureRate(trace, func(ks []keys.Value) {
+		for _, k := range ks {
+			eng.Lookup(k)
+		}
+	})
+	single.Speedup = single.MLookupsPS / ref.MLookupsPS
+
+	batch := CompiledCell{Path: "compiled-batch", BatchSize: CompiledBatchSize}
+	var out []core.BatchResult
+	for lo := 0; lo < len(trace); lo += CompiledBatchSize {
+		hi := min(lo+CompiledBatchSize, len(trace))
+		out = eng.LookupBatch(trace[lo:hi], out)
+		for i, res := range out {
+			check(lo+i, res.Action, res.Matched, &batch)
+		}
+	}
+	batch.MLookupsPS = measureRate(trace, func(ks []keys.Value) {
+		for lo := 0; lo < len(ks); lo += CompiledBatchSize {
+			out = eng.LookupBatch(ks[lo:min(lo+CompiledBatchSize, len(ks))], out)
+		}
+	})
+	batch.Speedup = batch.MLookupsPS / ref.MLookupsPS
+
+	return []CompiledCell{ref, single, batch}, nil
+}
+
+// CompiledSpeedupTable renders E23.
+func CompiledSpeedupTable(cells []CompiledCell) *Table {
+	t := &Table{
+		Title:  "Compiled query plane: flat inference + devirtualized search vs reference path (ripe workload)",
+		Header: []string{"path", "batch", "Mlookups/s", "speedup", "oracle mismatches"},
+		Notes: []string{
+			"same engine, same trace: only the query arithmetic's layout differs",
+			"results are bit-identical by construction (FuzzCompiledVsModel, Engine.Verify); mismatches must be 0",
+			"compiled-batch software-pipelines inference across keys (Compiled.PredictBatch)",
+		},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			c.Path, fi(c.BatchSize), f2(c.MLookupsPS), f2(c.Speedup), fi(c.Mismatches),
+		})
+	}
+	return t
+}

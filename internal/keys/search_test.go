@@ -1,0 +1,111 @@
+package keys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// linearFloor is the oracle: greatest i in [lo, hi] with lows[i] ≤ k,
+// scanned linearly.
+func linearFloor(lows []Value, k Value, lo, hi int) int {
+	idx := lo
+	for i := lo + 1; i <= hi; i++ {
+		if !k.Less(lows[i]) {
+			idx = i
+		}
+	}
+	return idx
+}
+
+func sortedValues(rng *rand.Rand, n int, wide bool) []Value {
+	set := map[Value]bool{{}: true}
+	for len(set) < n {
+		v := Value{Lo: rng.Uint64()}
+		if wide {
+			v.Hi = rng.Uint64() >> 32 // mix of equal and distinct high limbs
+		}
+		set[v] = true
+	}
+	out := make([]Value, 0, n)
+	for v := range set {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Less(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestSearchVariantsAgree pins the three specializations of the canonical
+// bounded-search loop to each other and to a linear-scan oracle: identical
+// indices and identical probe counts on every input.
+func TestSearchVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, wide := range []bool{false, true} {
+		lows := sortedValues(rng, 200, wide)
+		lows64 := make([]uint64, len(lows))
+		narrow := !wide
+		for i, v := range lows {
+			lows64[i] = v.Lo
+		}
+		for trial := 0; trial < 2000; trial++ {
+			var k Value
+			switch trial % 3 {
+			case 0: // exact boundary
+				k = lows[rng.Intn(len(lows))]
+			case 1: // near boundary
+				k = lows[rng.Intn(len(lows))].AddUint64(uint64(rng.Intn(3)))
+			default:
+				k = Value{Lo: rng.Uint64()}
+				if wide {
+					k.Hi = rng.Uint64() >> 32
+				}
+			}
+			lo := rng.Intn(len(lows))
+			hi := lo + rng.Intn(len(lows)-lo)
+			if k.Less(lows[lo]) {
+				continue // precondition: low(lo) ≤ k
+			}
+			wantIdx := linearFloor(lows, k, lo, hi)
+			gotIdx, gotProbes := BoundedSearch(k, lo, hi, func(i int) Value { return lows[i] })
+			if gotIdx != wantIdx {
+				t.Fatalf("BoundedSearch(%v, [%d,%d]) = %d, oracle %d", k, lo, hi, gotIdx, wantIdx)
+			}
+			fIdx, fProbes := SearchLows(lows, k, lo, hi)
+			if fIdx != gotIdx || fProbes != gotProbes {
+				t.Fatalf("SearchLows diverged: (%d,%d) vs (%d,%d)", fIdx, fProbes, gotIdx, gotProbes)
+			}
+			if narrow && k.Hi == 0 {
+				uIdx, uProbes := SearchLows64(lows64, k.Lo, lo, hi)
+				if uIdx != gotIdx || uProbes != gotProbes {
+					t.Fatalf("SearchLows64 diverged: (%d,%d) vs (%d,%d)", uIdx, uProbes, gotIdx, gotProbes)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedSearchProbeBound checks the probe count never exceeds
+// ⌈log2(hi−lo+1)⌉, the bound the paper's secondary-search FSM is sized for.
+func TestBoundedSearchProbeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lows := sortedValues(rng, 500, false)
+	for trial := 0; trial < 500; trial++ {
+		lo := rng.Intn(len(lows))
+		hi := lo + rng.Intn(len(lows)-lo)
+		k := lows[rng.Intn(len(lows))]
+		if k.Less(lows[lo]) {
+			continue
+		}
+		_, probes := BoundedSearch(k, lo, hi, func(i int) Value { return lows[i] })
+		maxProbes := 0
+		for span := hi - lo; span > 0; span /= 2 {
+			maxProbes++
+		}
+		if probes > maxProbes {
+			t.Fatalf("probes %d exceeds log bound %d for span %d", probes, maxProbes, hi-lo)
+		}
+	}
+}

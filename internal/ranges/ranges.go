@@ -134,16 +134,7 @@ func (a *Array) FindWithin(k keys.Value, lo, hi int) (idx, probes int) {
 	if hi > len(a.Entries)-1 {
 		hi = len(a.Entries) - 1
 	}
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		probes++
-		if k.Less(a.Entries[mid].Low) {
-			hi = mid - 1
-		} else {
-			lo = mid
-		}
-	}
-	return lo, probes
+	return keys.BoundedSearch(k, lo, hi, a.Low)
 }
 
 // Rule returns the rule index owning range i, or NoRule.

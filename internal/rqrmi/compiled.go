@@ -1,0 +1,278 @@
+package rqrmi
+
+// The compiled query plane: a flattened, devirtualized mirror of a trained
+// Model plus its learned Index, built once at engine-build time and used by
+// every hot lookup thereafter.
+//
+// Model.Predict pointer-chases through Stages [][]LUT (three slice headers
+// per submodel) and scans knots with a data-dependent loop; Model.Search
+// pays a dynamic Index.Low dispatch per probe. The paper's premise (§5.2.2)
+// is that inference is ~4 FP ops, so in software those indirections dominate.
+// Compile lays every submodel out in one fixed-stride interleaved bank of
+// blockStride float32 words —
+//
+//	[ 0.. 7] knots, padded with +Inf
+//	[ 8..16] A coefficients, zero padded
+//	[17..25] B coefficients, zero padded
+//	[26..31] unused (pads the block to a power of two)
+//
+// — so submodel id<<blockShift addresses its entire coefficient block with
+// no pointer loads, one evaluation touches at most two cache lines (the
+// split SoA layout cost three), and the ≤ 8 knot comparisons unroll into
+// straight-line branch-predictable code. The Index's lower bounds are copied into a flat []uint64 (width ≤ 64,
+// where every bound's high limb is zero) or []keys.Value, so the bounded
+// secondary search runs keys.SearchLows64/SearchLows with zero interface
+// calls and zero allocations.
+//
+// Bit-identity contract (CLAUDE.md): analyze.go computes error bounds by
+// running LUT.Eval + scaleClamp + unitOf; the compiled plane must reproduce
+// that arithmetic exactly or the bounds silently stop covering the deployed
+// engine. Concretely:
+//
+//   - unit coordinate: same float64 multiply against the same Ldexp scale
+//     keys.Domain.ToUnit uses, rounded to float32 once (cached, not
+//     recomputed per key — caching changes cost, not value);
+//   - segment select: knots are non-decreasing (Model.Validate), so the
+//     reference scan "first s with u ≤ Knots[s]" equals the unrolled count
+//     of knots with u > knot; +Inf padding never counts. NaN inputs count
+//     zero knots on both paths;
+//   - MAC: the same float32 A[s]*u + B[s] on the same coefficients;
+//   - search: keys.SearchLows* share the canonical BoundedSearch loop, so
+//     probe sequences and counts match the reference exactly.
+//
+// FuzzCompiledVsModel and the boundary sweep in core.Engine.Verify enforce
+// the contract mechanically.
+
+import (
+	"fmt"
+	"math"
+
+	"neurolpm/internal/keys"
+)
+
+const (
+	// padKnots/padSegs are the per-submodel field sizes: MaxSegments
+	// segments need MaxSegments−1 interior knots (§5.2.2's 8-hidden-ReLU
+	// bound).
+	padKnots = MaxSegments - 1
+	padSegs  = MaxSegments
+
+	// Block layout inside the interleaved bank (float32 offsets).
+	offKnots = 0
+	offA     = padKnots          // 8
+	offB     = padKnots + padSegs // 17
+
+	// blockStride rounds the 26 used words up to a power of two so block
+	// addressing is a shift and consecutive blocks share cache-line
+	// boundaries deterministically.
+	blockShift  = 5
+	blockStride = 1 << blockShift // 32
+)
+
+// Compiled is the flat query plane. It is immutable after Compile and safe
+// for concurrent use.
+type Compiled struct {
+	width int
+	n     int     // entries in the learned index
+	scale float64 // 1 / 2^width: keys.Domain.ToUnit's multiplier, cached
+
+	stageWidth []int32 // submodels per stage
+	stageBase  []int32 // stageBase[s] = global id of stage s's first submodel
+
+	bank []float32 // blockStride words per submodel: knots | A | B
+	errs []int32   // error bound per submodel (final stage only)
+
+	// Exactly one of lows64/lows is non-nil: the index's lower bounds,
+	// devirtualized. Range/bucket bounds never change after build (deletions
+	// re-own ranges, they do not move boundaries), so the copy cannot go
+	// stale.
+	lows64 []uint64
+	lows   []keys.Value
+}
+
+// Compile flattens a trained model and its learned index into the compiled
+// plane. The model must be structurally valid (Train/ReadModel output) and
+// trained over exactly this index; both are checked because a mismatch would
+// silently void the error bounds.
+func Compile(m *Model, ix Index) (*Compiled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("rqrmi: compile: %w", err)
+	}
+	if m.N != ix.Len() {
+		return nil, fmt.Errorf("rqrmi: compile: model N=%d does not match index length %d", m.N, ix.Len())
+	}
+	total := 0
+	for _, stage := range m.Stages {
+		total += len(stage)
+	}
+	c := &Compiled{
+		width:      m.Width,
+		n:          m.N,
+		scale:      math.Ldexp(1, -m.Width),
+		stageWidth: make([]int32, len(m.Stages)),
+		stageBase:  make([]int32, len(m.Stages)),
+		bank:       make([]float32, total*blockStride),
+		errs:       make([]int32, total),
+	}
+	inf := float32(math.Inf(1))
+	id := 0
+	for s, stage := range m.Stages {
+		c.stageWidth[s] = int32(len(stage))
+		c.stageBase[s] = int32(id)
+		for j := range stage {
+			l := &stage[j]
+			blk := c.bank[id<<blockShift : (id+1)<<blockShift]
+			for i := range blk[offKnots : offKnots+padKnots] {
+				blk[offKnots+i] = inf
+			}
+			copy(blk[offKnots:], l.Knots)
+			copy(blk[offA:], l.A)
+			copy(blk[offB:], l.B)
+			c.errs[id] = l.Err
+			id++
+		}
+	}
+	if m.Width <= 64 {
+		c.lows64 = make([]uint64, ix.Len())
+		for i := range c.lows64 {
+			c.lows64[i] = ix.Low(i).Lo
+		}
+	} else {
+		c.lows = make([]keys.Value, ix.Len())
+		for i := range c.lows {
+			c.lows[i] = ix.Low(i)
+		}
+	}
+	return c, nil
+}
+
+// Width returns the key bit width.
+func (c *Compiled) Width() int { return c.width }
+
+// Len returns the learned index length.
+func (c *Compiled) Len() int { return c.n }
+
+// SizeBytes is the compiled plane's memory footprint: the padded coefficient
+// banks plus the flat bounds copy. (The bounds mirror SRAM the hardware
+// already holds once; software pays it twice for devirtualization.)
+func (c *Compiled) SizeBytes() int {
+	coeff := 4 * (len(c.bank) + len(c.errs))
+	if c.lows64 != nil {
+		return coeff + 8*len(c.lows64)
+	}
+	return coeff + 16*len(c.lows)
+}
+
+// unit maps k to the model's float32 input coordinate — the same arithmetic
+// as unitOf (keys.Value.Float64 × the domain's Ldexp scale, rounded to
+// float32 once) with the Domain construction hoisted out of the query path.
+func (c *Compiled) unit(k keys.Value) float32 {
+	return float32((float64(k.Hi)*0x1p64 + float64(k.Lo)) * c.scale)
+}
+
+// eval computes submodel id's piecewise-linear value at u. The segment is
+// the count of knots strictly below u — the same early-exit scan as
+// LUT.Eval (real traces have locality, so the exit branch predicts well),
+// but over the interleaved block: no pointer loads, fixed 8-iteration
+// bound, and the +Inf padding stops the scan exactly where the reference's
+// len(Knots) bound does (NaN exits at zero on both paths).
+func (c *Compiled) eval(id int, u float32) float32 {
+	blk := c.bank[id<<blockShift : id<<blockShift+offB+padSegs]
+	s := 0
+	for s < padKnots && u > blk[s] {
+		s++
+	}
+	return blk[offA+s]*u + blk[offB+s]
+}
+
+// Predict runs full RQRMI inference for key k, bit-identical to
+// Model.Predict.
+func (c *Compiled) Predict(k keys.Value) Prediction {
+	u := c.unit(k)
+	cur := 0
+	last := len(c.stageWidth) - 1
+	for s := 0; s < last; s++ {
+		y := c.eval(int(c.stageBase[s])+cur, u)
+		cur = scaleClamp(y, int(c.stageWidth[s+1]))
+	}
+	id := int(c.stageBase[last]) + cur
+	y := c.eval(id, u)
+	return Prediction{Index: scaleClamp(y, c.n), Err: int(c.errs[id]), Submodel: cur}
+}
+
+// predictBlock is the software-pipelining width of PredictBatch: enough
+// independent inferences in flight per stage to hide the coefficient-bank
+// load latency, small enough that the per-block state lives in registers
+// and L1.
+const predictBlock = 16
+
+// PredictBatch runs inference for each key, writing out[i] = Predict(ks[i]).
+// Keys are processed in blocks of predictBlock, stage-by-stage: within one
+// stage the block's evaluations are independent, so the CPU overlaps their
+// coefficient loads instead of serializing whole per-key inference chains.
+// out must have at least len(ks) entries.
+func (c *Compiled) PredictBatch(ks []keys.Value, out []Prediction) {
+	_ = out[:len(ks)]
+	last := len(c.stageWidth) - 1
+	var us [predictBlock]float32
+	var cur [predictBlock]int32
+	for start := 0; start < len(ks); start += predictBlock {
+		n := len(ks) - start
+		if n > predictBlock {
+			n = predictBlock
+		}
+		blk := ks[start : start+n]
+		ub, cb := us[:n], cur[:n]
+		for i := range ub {
+			ub[i] = c.unit(blk[i])
+			cb[i] = 0
+		}
+		for s := 0; s < last; s++ {
+			base := int(c.stageBase[s])
+			w := int(c.stageWidth[s+1])
+			for i := range ub {
+				cb[i] = int32(scaleClamp(c.eval(base+int(cb[i]), ub[i]), w))
+			}
+		}
+		base := int(c.stageBase[last])
+		ob := out[start : start+n]
+		for i := range ob {
+			id := base + int(cb[i])
+			ob[i] = Prediction{
+				Index:    scaleClamp(c.eval(id, ub[i]), c.n),
+				Err:      int(c.errs[id]),
+				Submodel: int(cb[i]),
+			}
+		}
+	}
+}
+
+// Search runs the bounded secondary search over the flat bounds copy,
+// bit-identical to Model.Search on the source index (same clamping, same
+// canonical loop, same probe counts).
+func (c *Compiled) Search(k keys.Value, p Prediction) (idx, probes int) {
+	lo, hi := p.Index-p.Err, p.Index+p.Err
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > c.n-1 {
+		hi = c.n - 1
+	}
+	if c.lows64 != nil {
+		kk := k.Lo
+		if k.Hi != 0 {
+			// Out-of-domain key above every 64-bit bound: saturate so the
+			// one-limb compare agrees with the reference 128-bit Less.
+			kk = ^uint64(0)
+		}
+		return keys.SearchLows64(c.lows64, kk, lo, hi)
+	}
+	return keys.SearchLows(c.lows, k, lo, hi)
+}
+
+// Lookup is inference plus bounded search: the true index of the entry
+// containing k and the probe count, equal to Model.Lookup on the source
+// index.
+func (c *Compiled) Lookup(k keys.Value) (idx, probes int) {
+	return c.Search(k, c.Predict(k))
+}

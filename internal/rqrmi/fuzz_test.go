@@ -2,7 +2,11 @@ package rqrmi
 
 import (
 	"bytes"
+	"math/rand"
+	"sync"
 	"testing"
+
+	"neurolpm/internal/keys"
 )
 
 // FuzzReadModel ensures arbitrary byte streams never panic the
@@ -28,6 +32,79 @@ func FuzzReadModel(f *testing.F) {
 		}
 		if err := got.Validate(); err != nil {
 			t.Fatalf("accepted model fails validation: %v", err)
+		}
+	})
+}
+
+// fuzzPlane is one trained model + compiled plane pair shared across fuzz
+// iterations (training once per process keeps the fuzz loop fast).
+type fuzzPlane struct {
+	width int
+	ix    Index
+	m     *Model
+	c     *Compiled
+}
+
+var (
+	fuzzPlanesOnce sync.Once
+	fuzzPlanes     []fuzzPlane
+)
+
+func getFuzzPlanes(t testing.TB) []fuzzPlane {
+	fuzzPlanesOnce.Do(func() {
+		rng := rand.New(rand.NewSource(99))
+		for _, w := range []int{32, 64, 128} {
+			ix := skewedIndex(rng, w, 400)
+			m, _, err := Train(ix, w, quickConfig())
+			if err != nil {
+				t.Fatalf("width %d: %v", w, err)
+			}
+			c, err := Compile(m, ix)
+			if err != nil {
+				t.Fatalf("width %d: %v", w, err)
+			}
+			fuzzPlanes = append(fuzzPlanes, fuzzPlane{width: w, ix: ix, m: m, c: c})
+		}
+	})
+	return fuzzPlanes
+}
+
+// FuzzCompiledVsModel is the compiled plane's bit-identity enforcement
+// (CLAUDE.md): for arbitrary keys, Compiled.Predict/Search/Lookup must equal
+// Model.Predict/Search/Lookup exactly — index, error bound, submodel, and
+// probe count — on 32-, 64- and 128-bit models. Any divergence means the
+// analyze.go error bounds no longer cover the deployed arithmetic.
+func FuzzCompiledVsModel(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(1)<<31)
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(1), uint64(0))
+	f.Add(uint64(0), uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, hi, lo uint64) {
+		for _, p := range getFuzzPlanes(t) {
+			k := keys.FromParts(hi, lo)
+			if p.width <= 64 {
+				k = keys.FromUint64(lo)
+				if p.width < 64 {
+					k = keys.FromUint64(lo & (1<<uint(p.width) - 1))
+				}
+			}
+			pm := p.m.Predict(k)
+			pc := p.c.Predict(k)
+			if pm != pc {
+				t.Fatalf("width %d Predict(%v): model %+v, compiled %+v", p.width, k, pm, pc)
+			}
+			im, probesM := p.m.Search(p.ix, k, pm)
+			ic, probesC := p.c.Search(k, pc)
+			if im != ic || probesM != probesC {
+				t.Fatalf("width %d Search(%v): model (%d,%d), compiled (%d,%d)",
+					p.width, k, im, probesM, ic, probesC)
+			}
+			var one [1]Prediction
+			p.c.PredictBatch([]keys.Value{k}, one[:])
+			if one[0] != pm {
+				t.Fatalf("width %d PredictBatch(%v) = %+v, want %+v", p.width, k, one[0], pm)
+			}
 		}
 	})
 }

@@ -30,16 +30,8 @@ type Index interface {
 // Find returns the index of the entry containing k: the greatest i with
 // Low(i) ≤ k. It is the training-time oracle for target indexes.
 func Find(ix Index, k keys.Value) int {
-	lo, hi := 0, ix.Len()-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if k.Less(ix.Low(mid)) {
-			hi = mid - 1
-		} else {
-			lo = mid
-		}
-	}
-	return lo
+	idx, _ := keys.BoundedSearch(k, 0, ix.Len()-1, ix.Low)
+	return idx
 }
 
 // LUT is one compiled submodel: a piecewise-linear function over the unit
@@ -156,16 +148,7 @@ func (m *Model) Search(ix Index, k keys.Value, p Prediction) (idx, probes int) {
 	if hi > ix.Len()-1 {
 		hi = ix.Len() - 1
 	}
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		probes++
-		if k.Less(ix.Low(mid)) {
-			hi = mid - 1
-		} else {
-			lo = mid
-		}
-	}
-	return lo, probes
+	return keys.BoundedSearch(k, lo, hi, ix.Low)
 }
 
 // Validate checks structural invariants: stage widths, knot ordering, and

@@ -50,6 +50,35 @@ func BenchmarkShardedLookupBatch256(b *testing.B) {
 	}
 }
 
+func BenchmarkShardedLookupBatch256Scalar(b *testing.B) {
+	// Contrast row: the same fan-out but per-key engine lookups inside each
+	// group, isolating what the compiled batch plane adds over routing.
+	_, sh, ks := benchSetup(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 256 {
+		lo := i % (len(ks) - 256)
+		batch := ks[lo : lo+256]
+		sh.lookupBatch(batch, func(shard int, group []int32, out []Result) {
+			e := sh.engines[shard]
+			for _, idx := range group {
+				out[idx].Action, out[idx].Matched = e.Lookup(batch[idx])
+			}
+		})
+	}
+}
+
+func BenchmarkSingleEngineLookupBatch256(b *testing.B) {
+	// The compiled batch plane with no sharding at all: one engine, blocks
+	// of 256 keys through Engine.LookupBatch.
+	eng, _, ks := benchSetup(b, 4)
+	var out []core.BatchResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 256 {
+		lo := i % (len(ks) - 256)
+		out = eng.LookupBatch(ks[lo:lo+256], out)
+	}
+}
+
 func BenchmarkShardedLookupBatch256NoPoolDirect(b *testing.B) {
 	// Upper bound: direct per-shard engine calls in grouped order, no
 	// grouping machinery at all.

@@ -200,14 +200,41 @@ func (s *Sharded) Lookup(k keys.Value) (uint64, bool) {
 
 // LookupBatch resolves a batch of keys, grouping them by shard and fanning
 // the groups out over the worker pool. Results are positional: out[i]
-// answers ks[i]. It is safe for concurrent use.
+// answers ks[i]. It is safe for concurrent use. Each shard's group runs
+// through the engine's pipelined batch path (core.Engine.LookupBatch), so
+// the compiled plane overlaps inference across the group's keys.
 func (s *Sharded) LookupBatch(ks []keys.Value) []Result {
 	return s.lookupBatch(ks, func(shard int, group []int32, out []Result) {
-		e := s.engines[shard]
-		for _, idx := range group {
-			out[idx].Action, out[idx].Matched = e.Lookup(ks[idx])
-		}
+		batchGroup(s.engines[shard], ks, group, out)
 	})
+}
+
+// keyScratch holds one group's gather/scatter buffers; pooled so concurrent
+// shard groups each get their own without per-batch allocation.
+type keyScratch struct {
+	ks  []keys.Value
+	res []core.BatchResult
+}
+
+var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// batchGroup gathers one shard's keys contiguously, answers them through the
+// engine's batched lookup, and scatters the results back to their positions.
+func batchGroup(e *core.Engine, ks []keys.Value, group []int32, out []Result) {
+	sc := keyScratchPool.Get().(*keyScratch)
+	if cap(sc.ks) < len(group) {
+		sc.ks = make([]keys.Value, len(group))
+	}
+	gk := sc.ks[:len(group)]
+	for i, idx := range group {
+		gk[i] = ks[idx]
+	}
+	res := e.LookupBatch(gk, sc.res[:0])
+	for i, idx := range group {
+		out[idx] = Result{Action: res[i].Action, Matched: res[i].Matched}
+	}
+	sc.ks, sc.res = gk, res
+	keyScratchPool.Put(sc)
 }
 
 // Close releases the worker pool. The engine stays queryable through the

@@ -83,10 +83,17 @@ func (u *ShardedUpdatable) Lookup(k keys.Value) (uint64, bool) {
 
 // LookupBatch resolves a batch positionally, fanning shard groups out over
 // the worker pool. Each key's answer is individually consistent: it reflects
-// either the pre- or post-commit state of its shard, never a mix.
+// either the pre- or post-commit state of its shard, never a mix. A shard
+// whose delta buffer is empty answers its whole group through the engine's
+// pipelined batch path (delta empty ⇒ Updatable.Lookup ≡ engine lookup);
+// shards with pending insertions fall back to the per-key overlay lookup.
 func (u *ShardedUpdatable) LookupBatch(ks []keys.Value) []Result {
 	return u.lookupBatch(ks, func(shard int, group []int32, out []Result) {
 		s := u.shards[shard]
+		if s.PendingInserts() == 0 {
+			batchGroup(s.Engine(), ks, group, out)
+			return
+		}
 		for _, idx := range group {
 			out[idx].Action, out[idx].Matched = s.Lookup(ks[idx])
 		}
