@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-json smoke fuzz ci
+.PHONY: build vet test race bench bench-smoke bench-json smoke faults fuzz ci
 
 build:
 	$(GO) build ./...
@@ -34,17 +34,23 @@ bench-json:
 smoke:
 	$(GO) run ./cmd/lpmbench -exp headline -json bench.json
 
+# The E24 retrain-failure storm: lookup latency + correctness while every
+# background commit fails, then exactly-once recovery (DESIGN.md §11).
+faults:
+	$(GO) run ./cmd/lpmbench -exp faults
+
 # Mirrors CI's race-and-fuzz job: race the concurrent packages, then give
 # each differential fuzz target a short budget.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -race ./internal/core ./internal/shard ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/shard ./internal/serve ./internal/telemetry
 	$(GO) test -run xxx -fuzz FuzzParseRule -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzPrefixCoverBounds -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzReadModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzCompiledVsModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzEngineVsOracle -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzShardedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
+	$(GO) test -run xxx -fuzz FuzzShardedUpdateVsOracle -fuzztime $(FUZZTIME) ./internal/shard
 
 ci: build vet race smoke bench-smoke
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

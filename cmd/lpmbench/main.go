@@ -259,12 +259,19 @@ func main() {
 			}
 			return experiments.CompiledSpeedupTable(r), nil
 		},
+		"faults": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.FaultStorm(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.FaultsTable(r), nil
+		},
 	}
 	order := []string{
 		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
 		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
 		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
-		"sharded", "compiled",
+		"sharded", "compiled", "faults",
 	}
 
 	names := order

@@ -18,9 +18,11 @@
 //
 //	GET /lookup?key=10.1.2.3     one query (JSON)
 //	GET /batch?keys=a,b,c        many queries, one round-trip (also POST JSON)
+//	POST /update                 one rule update (sharded mode; 429 = back off)
 //	GET /trace?key=10.1.2.3      one fully-annotated query span (JSON)
 //	GET /metrics                 Prometheus text format
-//	GET /healthz                 engine summary
+//	GET /healthz                 engine summary + per-shard health; 503 once a
+//	                             shard has been failing past -stale-budget
 //	GET /debug/vars              expvar (includes the "neurolpm" registry)
 //	GET /debug/pprof/...         CPU/heap/goroutine profiles
 //
@@ -56,6 +58,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify the engine against the trie oracle before serving")
 	shards := flag.Int("shards", 0, "partition the rule-set into this many sub-engines (power of two; 0 = single engine)")
 	autocommit := flag.Duration("autocommit", 100*time.Millisecond, "background commit interval for dirty shards (requires -shards)")
+	staleBudget := flag.Duration("stale-budget", shard.DefaultStaleBudget, "how long a shard may keep failing commits before /healthz reports it stale (503)")
 	drain := flag.Duration("drain", serve.DefaultDrainTimeout, "how long to let in-flight requests finish on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -73,8 +76,9 @@ func main() {
 
 	cfg := core.Config{BucketSize: *bucket, Model: rqrmi.DefaultConfig()}
 	var srv *serve.Server
+	var sh *shard.ShardedUpdatable
 	if *shards > 0 {
-		srv = buildSharded(rs, cfg, *shards, *autocommit, *modelPath, *sramMB, *verify)
+		srv, sh = buildSharded(rs, cfg, *shards, *autocommit, *staleBudget, *modelPath, *sramMB, *verify)
 	} else {
 		srv = buildSingle(rs, cfg, *modelPath, *sramMB, *verify)
 	}
@@ -88,6 +92,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "lpmserve: listening on %s\n", l.Addr())
 	if err := serve.Serve(l, srv.Handler(), stop, *drain); err != nil {
 		fatal("%v", err)
+	}
+	if sh != nil {
+		// A shard that never managed to commit its pending updates is an
+		// operator-visible failure, not a silent shutdown.
+		if err := sh.Close(); err != nil {
+			fatal("%v", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "lpmserve: drained, shutting down")
 }
@@ -147,7 +158,7 @@ func buildSingle(rs *lpm.RuleSet, cfg core.Config, modelPath string, sramMB int,
 }
 
 // buildSharded partitions the rule-set and starts the background committer.
-func buildSharded(rs *lpm.RuleSet, cfg core.Config, nShards int, autocommit time.Duration, modelPath string, sramMB int, verify bool) *serve.Server {
+func buildSharded(rs *lpm.RuleSet, cfg core.Config, nShards int, autocommit, staleBudget time.Duration, modelPath string, sramMB int, verify bool) (*serve.Server, *shard.ShardedUpdatable) {
 	if modelPath != "" {
 		fatal("-model is incompatible with -shards: each shard trains its own model")
 	}
@@ -167,12 +178,14 @@ func buildSharded(rs *lpm.RuleSet, cfg core.Config, nShards int, autocommit time
 		}
 		fmt.Fprintln(os.Stderr, "lpmserve: all shards verified against the trie oracle")
 	}
+	sh.SetStaleBudget(staleBudget)
 	if autocommit > 0 {
 		sh.StartAutoCommit(autocommit, 0)
-		fmt.Fprintf(os.Stderr, "lpmserve: background commit every %v\n", autocommit)
+		fmt.Fprintf(os.Stderr, "lpmserve: background commit every %v (stale budget %v)\n",
+			autocommit, sh.StaleBudget())
 	}
 	fmt.Fprintf(os.Stderr, "lpmserve: serving %d-bit LPM over %d shards\n", rs.Width, nShards)
-	return serve.NewSharded(sh, telemetry.Default)
+	return serve.NewSharded(sh, telemetry.Default), sh
 }
 
 func fatal(format string, args ...any) {

@@ -16,9 +16,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"neurolpm/internal/bucket"
 	"neurolpm/internal/cachesim"
+	"neurolpm/internal/fault"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/ranges"
@@ -35,6 +37,12 @@ type Config struct {
 	// Model configures RQRMI training; the zero value selects
 	// rqrmi.DefaultConfig.
 	Model rqrmi.Config
+	// Fault, when non-nil, is consulted at the update-path injection
+	// sites (retrain, swap, delta-full — see internal/fault). The query
+	// path never fires it; production builds leave it nil and pay one
+	// nil-check per commit/insert. The hook rides Config so engine
+	// rebuilds (InsertBatch → Build) inherit it automatically.
+	Fault fault.Hook
 }
 
 // DefaultConfig returns the paper's evaluated configuration: 32-byte buckets
@@ -55,7 +63,11 @@ type Engine struct {
 	cfg   Config
 	width int
 	rules *lpm.RuleSet
-	live  []bool // tombstones for deleted rules (parallel to rules.Rules)
+	// live holds tombstones for deleted rules (parallel to rules.Rules).
+	// Delete flips entries while lock-free readers consult them in resolve,
+	// so access is atomic; everything else in the engine is immutable after
+	// build or rewritten only through the atomic ranges.Array accessors.
+	live []atomic.Bool
 	ra    *ranges.Array
 	dir   *bucket.Directory // nil in the SRAM-only design
 	model *rqrmi.Model
@@ -92,11 +104,11 @@ func Build(rs *lpm.RuleSet, cfg Config) (*Engine, error) {
 		cfg:   cfg,
 		width: rs.Width,
 		rules: rs.Clone(),
-		live:  make([]bool, rs.Len()),
+		live:  make([]atomic.Bool, rs.Len()),
 		ra:    ra,
 	}
 	for i := range e.live {
-		e.live[i] = true
+		e.live[i].Store(true)
 	}
 	var ix rqrmi.Index = ra
 	if cfg.BucketSize >= 2 {
@@ -157,12 +169,12 @@ func BuildWithModel(rs *lpm.RuleSet, cfg Config, m *rqrmi.Model, verify bool) (*
 		cfg:   cfg,
 		width: rs.Width,
 		rules: rs.Clone(),
-		live:  make([]bool, rs.Len()),
+		live:  make([]atomic.Bool, rs.Len()),
 		ra:    ra,
 		model: m,
 	}
 	for i := range e.live {
-		e.live[i] = true
+		e.live[i].Store(true)
 	}
 	var ix rqrmi.Index = ra
 	if cfg.BucketSize >= 2 {
@@ -409,7 +421,7 @@ func (e *Engine) LookupBatchMem(ks []keys.Value, out []BatchResult, mem cachesim
 // resolve maps a range index to its action, honouring tombstones.
 func (e *Engine) resolve(rangeIdx int) (uint64, bool) {
 	r := e.ra.RuleOf(rangeIdx)
-	if r == ranges.NoRule || !e.live[r] {
+	if r == ranges.NoRule || !e.live[r].Load() {
 		return 0, false
 	}
 	return e.ra.Action(rangeIdx)
@@ -419,7 +431,7 @@ func (e *Engine) resolve(rangeIdx int) (uint64, bool) {
 // (§6.5: action modification touches only the RQ-array metadata).
 func (e *Engine) ModifyAction(prefix keys.Value, length int, action uint64) error {
 	idx := e.rules.Find(prefix, length)
-	if idx == lpm.NoMatch || !e.live[idx] {
+	if idx == lpm.NoMatch || !e.live[idx].Load() {
 		return fmt.Errorf("core: rule %s/%d not installed", prefix, length)
 	}
 	e.rules.Rules[idx].Action = action
@@ -437,14 +449,14 @@ func (e *Engine) ModifyAction(prefix keys.Value, length int, action uint64) erro
 // retraining path.
 func (e *Engine) Delete(prefix keys.Value, length int) error {
 	idx := e.rules.Find(prefix, length)
-	if idx == lpm.NoMatch || !e.live[idx] {
+	if idx == lpm.NoMatch || !e.live[idx].Load() {
 		return fmt.Errorf("core: rule %s/%d not installed", prefix, length)
 	}
-	e.live[idx] = false
+	e.live[idx].Store(false)
 	if e.trie == nil {
 		e.trie = lpm.NewTrie(e.rules)
 	}
-	alive := func(r int32) bool { return e.live[r] }
+	alive := func(r int32) bool { return e.live[r].Load() }
 
 	// Re-own every range that pointed at the deleted rule. Within one range
 	// no rule begins or ends (all rule bounds are range boundaries), so the
@@ -455,14 +467,14 @@ func (e *Engine) Delete(prefix keys.Value, length int) error {
 	first := e.ra.Find(r.Low(e.width))
 	last := e.ra.Find(r.High(e.width))
 	for i := first; i <= last; i++ {
-		if e.ra.Entries[i].Rule != doomed {
+		if e.ra.RuleOf(i) != doomed {
 			continue
 		}
 		o := e.trie.LookupWhere(e.ra.Entries[i].Low, alive)
 		if o == lpm.NoMatch {
-			e.ra.Entries[i].Rule = ranges.NoRule
+			e.ra.SetRule(i, ranges.NoRule)
 		} else {
-			e.ra.Entries[i].Rule = int32(o)
+			e.ra.SetRule(i, int32(o))
 		}
 	}
 	return nil
@@ -474,7 +486,7 @@ func (e *Engine) Delete(prefix keys.Value, length int) error {
 func (e *Engine) InsertBatch(newRules []lpm.Rule) (*Engine, error) {
 	merged := make([]lpm.Rule, 0, e.rules.Len()+len(newRules))
 	for i, r := range e.rules.Rules {
-		if e.live[i] {
+		if e.live[i].Load() {
 			merged = append(merged, r)
 		}
 	}
@@ -541,7 +553,7 @@ func (e *Engine) Verify() error {
 	}
 	liveRules := make([]lpm.Rule, 0, e.rules.Len())
 	for i, r := range e.rules.Rules {
-		if e.live[i] {
+		if e.live[i].Load() {
 			liveRules = append(liveRules, r)
 		}
 	}

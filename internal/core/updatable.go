@@ -1,13 +1,21 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"neurolpm/internal/fault"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lpm"
 )
+
+// ErrDeltaFull is the write-backpressure signal: the delta buffer is at
+// capacity and the insertion was refused. Callers should commit (or let the
+// background committer catch up) and retry; the serving layer maps it to
+// HTTP 429. Matched with errors.Is through any wrapping.
+var ErrDeltaFull = errors.New("core: delta buffer full")
 
 // Updatable wraps an Engine with the two §6.5 mechanisms that make rule
 // insertion practical on a retraining-based engine:
@@ -28,6 +36,9 @@ type Updatable struct {
 	mu       sync.Mutex // guards delta and commit
 	capacity int
 	delta    *deltaBuffer
+
+	acMu sync.Mutex     // guards ac (StartAutoCommit/StopAutoCommit)
+	ac   *autoCommitter // background committer; nil until StartAutoCommit
 }
 
 // DefaultDeltaCapacity mirrors the 10K-entry TCAM the paper cites as the
@@ -95,13 +106,18 @@ func (u *Updatable) Insert(r lpm.Rule) error {
 	if err := r.Validate(e.Width()); err != nil {
 		return err
 	}
+	if hook := e.cfg.Fault; hook != nil {
+		if err := hook(fault.SiteDeltaFull); err != nil {
+			return fmt.Errorf("%w (injected: %v)", ErrDeltaFull, err)
+		}
+	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.delta.len() >= u.capacity {
-		return fmt.Errorf("core: delta buffer full (%d rules); commit first", u.capacity)
+		return fmt.Errorf("%w (%d rules); commit first", ErrDeltaFull, u.capacity)
 	}
 	if e.rules.Find(r.Prefix, r.Len) != lpm.NoMatch {
-		if idx := e.rules.Find(r.Prefix, r.Len); e.live[idx] {
+		if idx := e.rules.Find(r.Prefix, r.Len); e.live[idx].Load() {
 			return fmt.Errorf("core: rule %s/%d already installed", r.Prefix, r.Len)
 		}
 	}
@@ -143,9 +159,23 @@ func (u *Updatable) Commit() error {
 	u.mu.Unlock()
 
 	// Retrain off the lock: lookups and even further inserts may proceed.
-	next, err := u.engine.Load().InsertBatch(pending)
+	// A failure at any point before the swap leaves the delta buffer
+	// untouched, so the pending rules stay visible through the overlay and
+	// a later commit applies them exactly once.
+	old := u.engine.Load()
+	if hook := old.cfg.Fault; hook != nil {
+		if err := hook(fault.SiteRetrain); err != nil {
+			return err
+		}
+	}
+	next, err := old.InsertBatch(pending)
 	if err != nil {
 		return err
+	}
+	if hook := old.cfg.Fault; hook != nil {
+		if err := hook(fault.SiteSwap); err != nil {
+			return err
+		}
 	}
 
 	u.mu.Lock()

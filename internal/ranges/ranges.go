@@ -12,6 +12,7 @@ package ranges
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lpm"
@@ -137,22 +138,31 @@ func (a *Array) FindWithin(k keys.Value, lo, hi int) (idx, probes int) {
 	return keys.BoundedSearch(k, lo, hi, a.Low)
 }
 
+// Rule ownership (Entry.Rule) and the actions table are the only words a
+// published array mutates — the no-retrain delete and action-modification
+// paths rewrite them while lock-free readers resolve lookups. Both are
+// accessed with atomic word operations so a reader sees either the old or
+// the new value, never a torn one. Low values never change after Convert.
+
 // Rule returns the rule index owning range i, or NoRule.
-func (a *Array) RuleOf(i int) int32 { return a.Entries[i].Rule }
+func (a *Array) RuleOf(i int) int32 { return atomic.LoadInt32(&a.Entries[i].Rule) }
+
+// SetRule re-owns range i (the tombstone-aware delete path).
+func (a *Array) SetRule(i int, r int32) { atomic.StoreInt32(&a.Entries[i].Rule, r) }
 
 // Action resolves the action of range i; ok is false for NoRule ranges.
 func (a *Array) Action(i int) (uint64, bool) {
-	r := a.Entries[i].Rule
+	r := atomic.LoadInt32(&a.Entries[i].Rule)
 	if r == NoRule {
 		return 0, false
 	}
-	return a.actions[r], true
+	return atomic.LoadUint64(&a.actions[r]), true
 }
 
 // SetAction updates the stored action of source rule idx (used by the
 // no-retrain action-modification update path).
 func (a *Array) SetAction(idx int32, action uint64) {
-	a.actions[idx] = action
+	atomic.StoreUint64(&a.actions[idx], action)
 }
 
 // High returns the inclusive upper bound of range i.

@@ -19,7 +19,11 @@ func buildShardedServer(t *testing.T) (*Server, *lpm.RuleSet, *shard.ShardedUpda
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sh.Close)
+	t.Cleanup(func() {
+		if err := sh.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
 	return NewSharded(sh, telemetry.NewRegistry()), rs, sh
 }
 

@@ -8,6 +8,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
 	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
 	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
 )
@@ -100,6 +102,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", s.handleLookup)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mountMetrics(mux, s.reg)
@@ -247,8 +250,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		var body struct {
 			Keys []string `json:"keys"`
 		}
-		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&body); err != nil {
+		dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+		if err := dec.Decode(&body); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		// Strict decode: a second document (or trailing garbage) after the
+		// request object means the client is confused — reject it rather
+		// than silently serving the first object.
+		if _, err := dec.Token(); err != io.EOF {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body"))
 			return
 		}
 		raw = body.Keys
@@ -292,6 +303,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// shardHealth is the per-shard entry in the sharded /healthz response.
+type shardHealth struct {
+	Shard               int    `json:"shard"`
+	Health              string `json:"health"`
+	Pending             int    `json:"pending"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	StaleForMs          int64  `json:"stale_for_ms"`
+	Commits             uint64 `json:"commits"`
+	Failures            uint64 `json:"failures"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// handleHealthz reports liveness. In sharded mode it carries the update
+// plane's per-shard state (DESIGN.md §11): the aggregate status is the
+// worst shard's health, and the endpoint answers 503 only once some
+// shard's staleness exceeds the configured budget — a merely degraded
+// engine still serves correct answers from the last good engines plus the
+// delta overlay, so load balancers should keep it in rotation.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.sh != nil {
 		sramBytes, dramBytes, ranges := 0, 0, 0
@@ -301,10 +330,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			dramBytes += e.DRAMFootprint()
 			ranges += e.Ranges().Len()
 		}
-		writeJSON(w, map[string]any{
-			"status":          "ok",
+		worst := shard.Healthy
+		states := make([]shardHealth, 0, s.sh.Shards())
+		for _, st := range s.sh.Statuses() {
+			if st.Health > worst {
+				worst = st.Health
+			}
+			h := shardHealth{
+				Shard:               st.Shard,
+				Health:              st.Health.String(),
+				Pending:             st.Pending,
+				ConsecutiveFailures: st.ConsecutiveFailures,
+				StaleForMs:          st.StaleFor.Milliseconds(),
+				Commits:             st.Commits,
+				Failures:            st.Failures,
+			}
+			if st.LastErr != nil {
+				h.LastError = st.LastErr.Error()
+			}
+			states = append(states, h)
+		}
+		status, code := "ok", http.StatusOK
+		switch worst {
+		case shard.Degraded:
+			status = "degraded"
+		case shard.Stale:
+			status, code = "stale", http.StatusServiceUnavailable
+		}
+		writeJSONStatus(w, code, map[string]any{
+			"status":          status,
 			"width":           s.sh.Width(),
 			"shards":          s.sh.Shards(),
+			"shard_health":    states,
+			"stale_budget_ms": s.sh.StaleBudget().Milliseconds(),
 			"ranges":          ranges,
 			"sram_bytes":      sramBytes,
 			"dram_bytes":      dramBytes,
@@ -325,8 +383,80 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// updateRequest is the POST /update JSON shape. The prefix uses the same
+// spellings ParseKey accepts for lookups, left-aligned to the engine width.
+type updateRequest struct {
+	Op     string `json:"op"` // insert | delete | modify
+	Prefix string `json:"prefix"`
+	Len    int    `json:"len"`
+	Action uint64 `json:"action"`
+}
+
+// handleUpdate applies one rule-table update through the delta-buffer path
+// (§6.5): inserts and deletes are visible to queries immediately, the
+// retrain happens in the background committer. Backpressure is explicit —
+// a full delta buffer answers 429 so clients slow down instead of the
+// committer falling further behind. Single-engine mode has no update plane
+// and answers 501.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	if s.sh == nil {
+		httpError(w, http.StatusNotImplemented, fmt.Errorf("updates require sharded mode (run with -shards)"))
+		return
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req updateRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body"))
+		return
+	}
+	prefix, err := ParseKey(req.Prefix, s.width())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("prefix: %w", err))
+		return
+	}
+	switch req.Op {
+	case "insert":
+		err = s.sh.Insert(lpm.Rule{Prefix: prefix, Len: req.Len, Action: req.Action})
+	case "delete":
+		err = s.sh.Delete(prefix, req.Len)
+	case "modify":
+		err = s.sh.ModifyAction(prefix, req.Len, req.Action)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q (want insert, delete or modify)", req.Op))
+		return
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrDeltaFull) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"op":              req.Op,
+		"ok":              true,
+		"pending_inserts": s.sh.PendingInserts(),
+	})
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)

@@ -1,10 +1,13 @@
 package shard
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"neurolpm/internal/core"
+	"neurolpm/internal/fault"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/rqrmi"
@@ -88,6 +91,147 @@ func FuzzShardedVsOracle(f *testing.F) {
 				t.Fatalf("%d shards, key %v: Lookup (%d,%v), oracle (%d,%v)",
 					nShards, k, got, ok, want, wantOK)
 			}
+		}
+	})
+}
+
+// FuzzShardedUpdateVsOracle is the crash-consistency fuzz target (DESIGN.md
+// §11): arbitrary interleavings of {Insert, Delete, ModifyAction, failed
+// Commit, successful Commit} — with commit failures injected through the
+// fault hook — must keep the sharded engine equal to a trie oracle over the
+// logical rule-set after every step. Failed commits additionally must be
+// observable through LastCommitErr and fully resolved by the final
+// successful CommitAll (exactly-once apply).
+func FuzzShardedUpdateVsOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2, 0, 1, 2, 3, 4, 5, 6, 3, 0, 0, 0, 0, 0, 0, 0}, uint64(1), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 3, 1, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0}, uint64(42), uint8(2))
+	f.Add([]byte{}, uint64(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, keySeed uint64, shardSel uint8) {
+		const width = 32
+		split := len(data) / 2
+		base := deriveRules(width, data[:split])
+		rs, err := lpm.NewRuleSet(width, base)
+		if err != nil {
+			t.Fatalf("derived rule-set invalid: %v", err)
+		}
+		nShards := []int{2, 4, 8}[int(shardSel)%3]
+		in := fault.NewInjector(keySeed | 1)
+		cfg := core.Config{BucketSize: 8, Model: fuzzModel(), Fault: in.Hook()}
+		u, err := BuildUpdatable(rs, cfg, nShards, 0)
+		if err != nil {
+			t.Fatalf("BuildUpdatable(%d shards, %d rules): %v", nShards, rs.Len(), err)
+		}
+
+		type ruleKey struct {
+			p keys.Value
+			l int
+		}
+		live := append([]lpm.Rule(nil), base...)
+		installed := map[ruleKey]bool{}
+		for _, r := range base {
+			installed[ruleKey{r.Prefix, r.Len}] = true
+		}
+		rng := rand.New(rand.NewSource(int64(keySeed)))
+		check := func(stage string) {
+			t.Helper()
+			set, err := lpm.NewRuleSet(width, append([]lpm.Rule(nil), live...))
+			if err != nil {
+				t.Fatalf("%s: model rule-set invalid: %v", stage, err)
+			}
+			oracle := lpm.NewTrieMatcher(set)
+			ks := make([]keys.Value, 0, 2*len(live)+16)
+			for _, r := range live {
+				ks = append(ks, r.Low(width), r.High(width))
+			}
+			for i := 0; i < 16; i++ {
+				ks = append(ks, keys.FromUint64(rng.Uint64()&(1<<width-1)))
+			}
+			for _, k := range ks {
+				got, ok := u.Lookup(k)
+				want, wantOK := oracle.Lookup(k)
+				if ok != wantOK || (wantOK && got != want) {
+					t.Fatalf("%s: key %v: engine (%d,%v), oracle (%d,%v)",
+						stage, k, got, ok, want, wantOK)
+				}
+			}
+		}
+
+		// Up to 16 ops, 7 bytes each: opcode + rule/selector material.
+		ops := data[split:]
+		for i, n := 0, 0; i+7 <= len(ops) && n < 16; i, n = i+7, n+1 {
+			switch ops[i] % 5 {
+			case 0: // insert a fresh rule
+				rr := deriveRules(width, ops[i+1:i+7])
+				if len(rr) == 0 || installed[ruleKey{rr[0].Prefix, rr[0].Len}] {
+					continue
+				}
+				r := rr[0]
+				if err := u.Insert(r); err != nil {
+					if errors.Is(err, core.ErrDeltaFull) {
+						continue // backpressure is a legal outcome
+					}
+					t.Fatalf("insert %v: %v", r, err)
+				}
+				installed[ruleKey{r.Prefix, r.Len}] = true
+				live = append(live, r)
+			case 1: // delete an installed rule
+				if len(live) == 0 {
+					continue
+				}
+				j := int(ops[i+1]) % len(live)
+				r := live[j]
+				if err := u.Delete(r.Prefix, r.Len); err != nil {
+					t.Fatalf("delete %v: %v", r, err)
+				}
+				delete(installed, ruleKey{r.Prefix, r.Len})
+				live = append(live[:j], live[j+1:]...)
+			case 2: // modify an installed rule's action
+				if len(live) == 0 {
+					continue
+				}
+				j := int(ops[i+1]) % len(live)
+				a := uint64(ops[i+2]) + 1
+				if err := u.ModifyAction(live[j].Prefix, live[j].Len, a); err != nil {
+					t.Fatalf("modify %v: %v", live[j], err)
+				}
+				live[j].Action = a
+			case 3: // failed commit of a dirty shard
+				s := int(ops[i+1]) % u.Shards()
+				if u.shards[s].PendingInserts() == 0 {
+					continue
+				}
+				in.FailNext(fault.SiteRetrain, 1)
+				err := u.Commit(s)
+				in.Clear(fault.SiteRetrain)
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("injected commit failure lost: %v", err)
+				}
+				if u.LastCommitErr() == nil {
+					t.Fatal("failed commit not observable through LastCommitErr")
+				}
+			case 4: // successful commit of a dirty shard
+				s := int(ops[i+1]) % u.Shards()
+				if u.shards[s].PendingInserts() == 0 {
+					continue
+				}
+				if err := u.Commit(s); err != nil {
+					t.Fatalf("commit shard %d: %v", s, err)
+				}
+			}
+			check(fmt.Sprintf("after op %d", i/7))
+		}
+
+		// Recovery: a final successful commit applies everything exactly once
+		// and resolves any lingering failure state.
+		if err := u.CommitAll(); err != nil {
+			t.Fatalf("final CommitAll: %v", err)
+		}
+		if got := u.PendingInserts(); got != 0 {
+			t.Fatalf("pending after final commit: %d", got)
+		}
+		check("after recovery")
+		if err := u.Close(); err != nil {
+			t.Fatalf("close: %v", err)
 		}
 	})
 }

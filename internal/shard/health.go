@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/telemetry"
+)
+
+// Health classifies one shard's update plane (DESIGN.md §11). The query
+// plane is deliberately not part of the classification: readers always
+// answer from the last good engine plus the delta overlay, so a shard in
+// any state serves correct (possibly stale-model, never stale-data)
+// answers.
+//
+//	Healthy  — no unresolved commit failure.
+//	Degraded — the last commit attempt failed; retries are scheduled and
+//	           pending updates are still served from the delta buffer.
+//	Stale    — commits have kept failing for longer than the staleness
+//	           budget; operators (and /healthz) should treat the shard as
+//	           needing intervention.
+type Health int32
+
+const (
+	Healthy Health = iota
+	Degraded
+	Stale
+)
+
+// String returns the lowercase state name used by /healthz and /metrics.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Stale:
+		return "stale"
+	}
+	return "unknown"
+}
+
+// DefaultStaleBudget is how long a shard may keep failing commits before it
+// is reported Stale. Thirty seconds covers hundreds of retries at the
+// DefaultBackoff cap — a shard that is still failing then is not having a
+// transient problem.
+const DefaultStaleBudget = 30 * time.Second
+
+// ShardStatus is one shard's observable update-plane state.
+type ShardStatus struct {
+	Shard               int
+	Health              Health
+	Pending             int           // delta-buffer rules awaiting commit
+	ConsecutiveFailures int           // commit failures since the last success
+	StaleFor            time.Duration // time since the first unresolved failure
+	LastErr             error         // last commit failure; nil when healthy
+	Commits             uint64        // lifetime successful commits
+	Failures            uint64        // lifetime failed commit attempts
+}
+
+// shardState is the committer-side record behind ShardStatus. Its mutex is
+// distinct from the shard's writer lock so health reads never wait on an
+// in-flight retrain.
+type shardState struct {
+	mu          sync.Mutex
+	lastErr     error
+	lastErrAt   time.Time
+	consecFails int
+	firstFailAt time.Time
+	retryAt     time.Time // next allowed background attempt; zero = now
+	commits     uint64
+	failures    uint64
+}
+
+// recordFailure notes a failed commit attempt and schedules the retry.
+func (st *shardState) recordFailure(err error, b core.Backoff) {
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.lastErr = err
+	st.lastErrAt = now
+	st.consecFails++
+	st.failures++
+	if st.firstFailAt.IsZero() {
+		st.firstFailAt = now
+	}
+	st.retryAt = now.Add(b.Delay(st.consecFails))
+}
+
+// recordSuccess clears the failure state after a successful commit.
+func (st *shardState) recordSuccess() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.commits++
+	st.clearLocked()
+}
+
+// clearIfIdle resolves a failure whose pending rules have since been
+// withdrawn (deleted from the delta buffer): with nothing left to commit
+// there is nothing to be stale about. Returns whether anything was cleared.
+func (st *shardState) clearIfIdle() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.consecFails == 0 {
+		return false
+	}
+	st.clearLocked()
+	return true
+}
+
+func (st *shardState) clearLocked() {
+	st.lastErr = nil
+	st.consecFails = 0
+	st.firstFailAt = time.Time{}
+	st.retryAt = time.Time{}
+}
+
+// ShardStatus reports shard i's current update-plane state. The Health
+// classification is computed at read time against the staleness budget, so
+// a shard transitions Degraded→Stale without any committer activity.
+func (u *ShardedUpdatable) ShardStatus(i int) ShardStatus {
+	st := &u.states[i]
+	out := ShardStatus{Shard: i, Pending: u.shards[i].PendingInserts()}
+	st.mu.Lock()
+	out.ConsecutiveFailures = st.consecFails
+	out.LastErr = st.lastErr
+	out.Commits = st.commits
+	out.Failures = st.failures
+	if st.consecFails > 0 {
+		out.StaleFor = time.Since(st.firstFailAt)
+	}
+	st.mu.Unlock()
+	switch {
+	case out.ConsecutiveFailures == 0:
+		out.Health = Healthy
+	case out.StaleFor > u.StaleBudget():
+		out.Health = Stale
+	default:
+		out.Health = Degraded
+	}
+	return out
+}
+
+// Statuses reports every shard's status (index-aligned with shard ids).
+func (u *ShardedUpdatable) Statuses() []ShardStatus {
+	out := make([]ShardStatus, u.Shards())
+	for i := range out {
+		out[i] = u.ShardStatus(i)
+	}
+	return out
+}
+
+// StaleBudget returns the current Degraded→Stale threshold.
+func (u *ShardedUpdatable) StaleBudget() time.Duration {
+	return time.Duration(u.staleBudget.Load())
+}
+
+// SetStaleBudget reconfigures the Degraded→Stale threshold (safe at any
+// time; d ≤ 0 restores the default).
+func (u *ShardedUpdatable) SetStaleBudget(d time.Duration) {
+	if d <= 0 {
+		d = DefaultStaleBudget
+	}
+	u.staleBudget.Store(int64(d))
+}
+
+// SetCommitBackoff reconfigures the retry schedule. Call it before
+// StartAutoCommit; it is not synchronized against an already-running
+// committer.
+func (u *ShardedUpdatable) SetCommitBackoff(b core.Backoff) { u.backoff = b }
+
+// registerHealthGauges publishes the per-shard health surface for the most
+// recently built updatable engine (last-writer-wins, like the balance
+// gauges).
+func (u *ShardedUpdatable) registerHealthGauges() {
+	healthVec := telemetry.Default.GaugeVec("neurolpm_shard_health",
+		"Per-shard update-plane state (0 healthy, 1 degraded, 2 stale)", "shard")
+	failsVec := telemetry.Default.GaugeVec("neurolpm_shard_consecutive_commit_failures",
+		"Commit failures since the shard's last successful commit", "shard")
+	for i := range u.shards {
+		i := i
+		healthVec.Set(strconv.Itoa(i), func() float64 { return float64(u.ShardStatus(i).Health) })
+		failsVec.Set(strconv.Itoa(i), func() float64 { return float64(u.ShardStatus(i).ConsecutiveFailures) })
+	}
+	telemetry.Default.Gauge("neurolpm_shard_unhealthy",
+		"Shards currently degraded or stale",
+		func() float64 {
+			n := 0
+			for i := range u.shards {
+				if u.ShardStatus(i).Health != Healthy {
+					n++
+				}
+			}
+			return float64(n)
+		})
+}

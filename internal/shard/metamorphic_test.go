@@ -67,7 +67,11 @@ func buildSweepUpdatable(t *testing.T, seed int64) (*ShardedUpdatable, *lpm.Rule
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(u.Close)
+	t.Cleanup(func() {
+		if err := u.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
 	return u, rs
 }
 

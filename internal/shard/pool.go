@@ -61,4 +61,6 @@ var (
 		"Per-shard commits (background auto-commit and explicit)")
 	metCommitErrs = telemetry.Default.Counter("neurolpm_shard_commit_errors_total",
 		"Per-shard commits that failed (rule-set invalid or training error)")
+	metCommitRetries = telemetry.Default.Counter("neurolpm_shard_commit_retries_total",
+		"Commit attempts made while the shard already had an unresolved failure")
 )

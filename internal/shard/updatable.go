@@ -34,13 +34,19 @@ type ShardedUpdatable struct {
 	// rules) lock their span in ascending order, so writers cannot deadlock.
 	wmu []sync.Mutex
 
-	threshold int           // auto-commit when a shard's pending ≥ threshold
+	threshold atomic.Int64  // auto-commit when a shard's pending ≥ threshold
 	kick      chan struct{} // nudges the committer before the next tick
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
-	commitErr atomic.Pointer[error] // last background commit failure
+	// The robustness plane (DESIGN.md §11): per-shard failure state,
+	// retry schedule and staleness budget. states is index-aligned with
+	// shards; each entry has its own mutex so health reads never block on
+	// an in-flight retrain.
+	states      []shardState
+	backoff     core.Backoff
+	staleBudget atomic.Int64 // time.Duration; Degraded→Stale threshold
 }
 
 // BuildUpdatable builds a sharded engine wrapped shard-by-shard in
@@ -57,16 +63,20 @@ func BuildUpdatable(rs *lpm.RuleSet, cfg core.Config, nShards, capacity int) (*S
 		return nil, err
 	}
 	u := &ShardedUpdatable{
-		router: r,
-		shards: make([]*core.Updatable, len(engines)),
-		wmu:    make([]sync.Mutex, len(engines)),
-		stop:   make(chan struct{}),
-		kick:   make(chan struct{}, 1),
+		router:  r,
+		shards:  make([]*core.Updatable, len(engines)),
+		wmu:     make([]sync.Mutex, len(engines)),
+		stop:    make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+		states:  make([]shardState, len(engines)),
+		backoff: core.DefaultBackoff,
 	}
+	u.staleBudget.Store(int64(DefaultStaleBudget))
 	for i, e := range engines {
 		u.shards[i] = core.NewUpdatable(e, capacity)
 	}
 	u.registerGauges(func(i int) int { return u.shards[i].Engine().Ranges().Len() })
+	u.registerHealthGauges()
 	return u, nil
 }
 
@@ -136,7 +146,7 @@ func (u *ShardedUpdatable) Insert(r lpm.Rule) error {
 			return fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
-	if u.threshold > 0 && u.shards[lo].PendingInserts() >= u.threshold {
+	if th := u.threshold.Load(); th > 0 && u.shards[lo].PendingInserts() >= int(th) {
 		select {
 		case u.kick <- struct{}{}:
 		default:
@@ -186,17 +196,29 @@ func (u *ShardedUpdatable) PendingInserts() int {
 
 // Commit rebuilds shard i from its merged rule-set and swaps it in
 // atomically. Lookups proceed against the old engine for the duration.
+// Success and failure both feed the shard's health state: a failure
+// schedules a backed-off background retry, a success clears any pending
+// failure (the LastCommitErr contract).
 func (u *ShardedUpdatable) Commit(i int) error {
 	u.wmu[i].Lock()
 	defer u.wmu[i].Unlock()
+	st := &u.states[i]
+	st.mu.Lock()
+	if st.consecFails > 0 {
+		metCommitRetries.Inc()
+	}
+	st.mu.Unlock()
 	start := time.Now()
 	err := u.shards[i].Commit()
 	metRebuildMs.ObserveInt(int(time.Since(start).Milliseconds()))
 	if err != nil {
 		metCommitErrs.Inc()
-		return fmt.Errorf("shard %d: %w", i, err)
+		err = fmt.Errorf("shard %d: %w", i, err)
+		st.recordFailure(err, u.backoff)
+		return err
 	}
 	metCommits.Inc()
+	st.recordSuccess()
 	return nil
 }
 
@@ -217,55 +239,141 @@ func (u *ShardedUpdatable) CommitAll() error {
 
 // StartAutoCommit launches the background committer: every interval (and
 // immediately once any shard's pending insertions reach threshold) it
-// commits each dirty shard, one at a time, off the query path. interval ≤ 0
-// selects 100ms; threshold ≤ 0 disables the early nudge (time-based only).
+// commits each dirty shard, one at a time, off the query path. A failing
+// shard is retried on the capped-exponential backoff schedule without
+// blocking the other shards' commits. interval ≤ 0 selects 100ms;
+// threshold ≤ 0 disables the early nudge (time-based only).
 func (u *ShardedUpdatable) StartAutoCommit(interval time.Duration, threshold int) {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
-	u.threshold = threshold
+	u.threshold.Store(int64(threshold))
 	u.wg.Add(1)
 	go u.commitLoop(interval)
 }
 
+// commitLoop wakes on the ticker, on a writer's kick, or when a backed-off
+// shard becomes retryable — whichever is earliest. The kick channel holds
+// one buffered nudge, which is sufficient re-arming: a kick raced with an
+// in-flight pass parks in the buffer and re-triggers a full scan, and every
+// pass scans all shards, so a dirty shard is never stranded until the next
+// timer tick (regression-tested by TestKickDuringInFlightCommitNotStranded).
 func (u *ShardedUpdatable) commitLoop(interval time.Duration) {
 	defer u.wg.Done()
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	retry := time.NewTimer(time.Hour)
+	if !retry.Stop() {
+		<-retry.C
+	}
 	for {
+		var retryC <-chan time.Time
+		if d, ok := u.earliestRetry(); ok {
+			retry.Reset(max(d, time.Millisecond))
+			retryC = retry.C
+		}
 		select {
 		case <-u.stop:
 			return
 		case <-t.C:
 		case <-u.kick:
+		case <-retryC:
 		}
-		for i, s := range u.shards {
-			if s.PendingInserts() == 0 {
-				continue
-			}
-			if err := u.Commit(i); err != nil {
-				u.commitErr.Store(&err)
+		if retryC != nil && !retry.Stop() {
+			select {
+			case <-retry.C:
+			default:
 			}
 		}
+		u.commitPass()
 	}
 }
 
-// LastCommitErr returns the most recent background commit failure, if any.
+// earliestRetry returns the wait until the soonest backed-off dirty shard
+// becomes retryable (false when no shard is awaiting retry).
+func (u *ShardedUpdatable) earliestRetry() (time.Duration, bool) {
+	var best time.Time
+	for i := range u.states {
+		st := &u.states[i]
+		st.mu.Lock()
+		at := st.retryAt
+		st.mu.Unlock()
+		if at.IsZero() || u.shards[i].PendingInserts() == 0 {
+			continue
+		}
+		if best.IsZero() || at.Before(best) {
+			best = at
+		}
+	}
+	if best.IsZero() {
+		return 0, false
+	}
+	return time.Until(best), true
+}
+
+// commitPass commits every dirty shard that is not waiting out a backoff.
+func (u *ShardedUpdatable) commitPass() {
+	now := time.Now()
+	for i, s := range u.shards {
+		if s.PendingInserts() == 0 {
+			// A failure whose pending rules were since withdrawn has
+			// nothing left to be stale about.
+			u.states[i].clearIfIdle()
+			continue
+		}
+		st := &u.states[i]
+		st.mu.Lock()
+		wait := st.retryAt
+		st.mu.Unlock()
+		if !wait.IsZero() && now.Before(wait) {
+			continue
+		}
+		u.Commit(i) // outcome recorded in the shard's state
+	}
+}
+
+// LastCommitErr returns the most recent unresolved commit failure across
+// shards — non-nil while any shard is degraded or stale, nil once every
+// failing shard has since committed successfully (or had its pending rules
+// withdrawn).
 func (u *ShardedUpdatable) LastCommitErr() error {
-	if p := u.commitErr.Load(); p != nil {
-		return *p
+	var (
+		newest   error
+		newestAt time.Time
+	)
+	for i := range u.states {
+		st := &u.states[i]
+		if u.shards[i].PendingInserts() == 0 {
+			// The failure's pending rules were withdrawn (or a concurrent
+			// commit just drained them): resolve it here rather than waiting
+			// for the next background pass.
+			st.clearIfIdle()
+			continue
+		}
+		st.mu.Lock()
+		if st.lastErr != nil && (newest == nil || st.lastErrAt.After(newestAt)) {
+			newest, newestAt = st.lastErr, st.lastErrAt
+		}
+		st.mu.Unlock()
 	}
-	return nil
+	return newest
 }
 
-// Close stops the background committer and the batch pool. Lookups remain
-// valid afterwards (serially).
-func (u *ShardedUpdatable) Close() {
+// Close stops the background committer and the batch pool; lookups remain
+// valid afterwards (serially). It fails loudly when a commit failure is
+// still unresolved — pending rules exist that never made it into a trained
+// engine — so callers cannot silently discard a dirty shard.
+func (u *ShardedUpdatable) Close() error {
 	u.closeOnce.Do(func() {
 		close(u.stop)
 		u.wg.Wait()
 		u.router.close()
 	})
+	if err := u.LastCommitErr(); err != nil {
+		return fmt.Errorf("shard: closed with unresolved commit failure (%d rules pending): %w",
+			u.PendingInserts(), err)
+	}
+	return nil
 }
 
 // Verify checks every shard's live engine against the trie oracle. Pending

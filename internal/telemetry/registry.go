@@ -15,6 +15,7 @@ const (
 	kindCounter metricKind = iota
 	kindHistogram
 	kindGauge
+	kindGaugeVec
 )
 
 // entry is one named metric.
@@ -25,6 +26,7 @@ type entry struct {
 	ctr  *Counter
 	hist *Histogram
 	fn   func() float64
+	vec  *GaugeVec
 }
 
 // Registry is a named collection of metrics. Metric constructors are
@@ -94,6 +96,67 @@ func (r *Registry) Gauge(name, help string, fn func() float64) {
 	r.add(&entry{name: name, help: help, kind: kindGauge, fn: fn})
 }
 
+// GaugeVec is a derived-gauge family with one label dimension — the
+// registry's answer to per-shard metrics (health, consecutive commit
+// failures) without pulling in a full label model. Each label value holds
+// one scrape-time function; Set is last-writer-wins per value, matching
+// Gauge's rebuilt-engine refresh semantics.
+type GaugeVec struct {
+	name  string
+	label string
+
+	mu     sync.Mutex
+	series map[string]func() float64
+	order  []string
+}
+
+// Set registers (or replaces) the gauge function for one label value.
+func (v *GaugeVec) Set(value string, fn func() float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.series[value]; !ok {
+		v.order = append(v.order, value)
+		sort.Strings(v.order)
+	}
+	v.series[value] = fn
+}
+
+// snapshot returns the label values (sorted) and their current readings.
+func (v *GaugeVec) snapshot() ([]string, []float64) {
+	v.mu.Lock()
+	vals := append([]string(nil), v.order...)
+	fns := make([]func() float64, len(vals))
+	for i, lv := range vals {
+		fns[i] = v.series[lv]
+	}
+	v.mu.Unlock()
+	out := make([]float64, len(vals))
+	for i, fn := range fns {
+		out[i] = fn()
+	}
+	return vals, out
+}
+
+// GaugeVec returns the gauge family registered under name, creating it if
+// needed. It panics if name is registered as a different kind or with a
+// different label name.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindGaugeVec {
+			panic("telemetry: " + name + " already registered with a different kind")
+		}
+		if e.vec.label != label {
+			panic("telemetry: " + name + " already registered with label " + e.vec.label)
+		}
+		return e.vec
+	}
+	v := &GaugeVec{name: name, label: label, series: make(map[string]func() float64)}
+	r.add(&entry{name: name, help: help, kind: kindGaugeVec, vec: v})
+	return v
+}
+
 // AttachCounter registers an existing standalone counter under name (used
 // by cachesim to expose a per-instance cache through the shared registry).
 func (r *Registry) AttachCounter(name, help string, c *Counter) {
@@ -137,6 +200,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", e.name, e.help, e.name, e.name, e.ctr.Load())
 		case kindGauge:
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", e.name, e.help, e.name, e.name, e.fn())
+		case kindGaugeVec:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", e.name, e.help, e.name)
+			vals, readings := e.vec.snapshot()
+			for i, lv := range vals {
+				fmt.Fprintf(w, "%s{%s=%q} %g\n", e.name, e.vec.label, lv, readings[i])
+			}
 		case kindHistogram:
 			s := e.hist.Snapshot()
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", e.name, e.help, e.name)
@@ -166,6 +235,11 @@ func (r *Registry) Snapshot() map[string]float64 {
 			out[e.name] = float64(e.ctr.Load())
 		case kindGauge:
 			out[e.name] = e.fn()
+		case kindGaugeVec:
+			vals, readings := e.vec.snapshot()
+			for i, lv := range vals {
+				out[fmt.Sprintf("%s{%s=%q}", e.name, e.vec.label, lv)] = readings[i]
+			}
 		case kindHistogram:
 			s := e.hist.Snapshot()
 			out[e.name+"_count"] = float64(s.Total)

@@ -257,3 +257,42 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("pershard", "per-shard reading", "shard")
+	v.Set("1", func() float64 { return 10 })
+	v.Set("0", func() float64 { return 5 })
+	// Get-or-create returns the same family; Set is last-writer-wins.
+	r.GaugeVec("pershard", "per-shard reading", "shard").Set("1", func() float64 { return 11 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	want := "pershard{shard=\"0\"} 5\npershard{shard=\"1\"} 11\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("prometheus output missing sorted labeled series:\n%s", out)
+	}
+	snap := r.Snapshot()
+	if snap[`pershard{shard="0"}`] != 5 || snap[`pershard{shard="1"}`] != 11 {
+		t.Fatalf("snapshot missing labeled series: %v", snap)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Counter("pershard", "")
+}
+
+func TestGaugeVecLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("family", "", "shard")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label mismatch did not panic")
+		}
+	}()
+	r.GaugeVec("family", "", "bank")
+}
