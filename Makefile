@@ -27,8 +27,10 @@ bench-smoke:
 
 # The PR-over-PR perf record: quick-scale experiment tables plus the
 # reference/compiled/batched/sharded lookup microbenchmarks as JSON.
+# -compact keeps the committed file diffable (no timestamps, one line per
+# table row).
 bench-json:
-	$(GO) run ./cmd/lpmbench -json BENCH_PR3.json
+	$(GO) run ./cmd/lpmbench -json BENCH_PR5.json -compact
 
 # One fast end-to-end experiment plus the machine-readable report.
 smoke:
@@ -51,6 +53,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzEngineVsOracle -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzShardedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
 	$(GO) test -run xxx -fuzz FuzzShardedUpdateVsOracle -fuzztime $(FUZZTIME) ./internal/shard
+	$(GO) test -run xxx -fuzz FuzzCachedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
 
 ci: build vet race smoke bench-smoke
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

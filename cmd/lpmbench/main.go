@@ -5,17 +5,20 @@
 //
 // Usage:
 //
-//	lpmbench [-exp name] [-full] [-seed N] [-json out.json] [-metrics addr]
+//	lpmbench [-exp name] [-full] [-seed N] [-json out.json] [-compact]
+//	         [-metrics addr]
 //
 // Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
 // worstcase binsearch bitwidth updates scaling headline modelsize tss dram
-// replicas designspace worstbw emexpand sharded compiled all
+// replicas designspace worstbw emexpand sharded compiled faults cache all
 //
 // -json writes every experiment's table plus a headline Lookup
 // microbenchmark (ns/op, allocs/op) as machine-readable JSON, so the perf
 // trajectory is tracked across PRs instead of living only in
-// lpmbench_full.txt. -metrics serves /metrics and /debug/pprof while the
-// run is in flight.
+// lpmbench_full.txt. -compact switches that JSON to a summary-only shape —
+// no timestamp or per-experiment elapsed time, one pipe-joined line per
+// table row — so committed BENCH_*.json files diff cleanly across PRs.
+// -metrics serves /metrics and /debug/pprof while the run is in flight.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -75,11 +79,45 @@ type jsonReport struct {
 	LookupBench *jsonBench       `json:"lookup_bench,omitempty"`
 }
 
+// compactExperiment is one experiment in -compact form: the same numbers,
+// but each table row rendered as a single pipe-joined line and the
+// run-varying fields (timestamp, elapsed) dropped, so BENCH_*.json diffs
+// across PRs show only measurement changes.
+type compactExperiment struct {
+	Name   string   `json:"name"`
+	Title  string   `json:"title"`
+	Header string   `json:"header"`
+	Rows   []string `json:"rows"`
+}
+
+// compactReport is the -compact -json output shape.
+type compactReport struct {
+	Scale       string              `json:"scale"`
+	Seed        int64               `json:"seed"`
+	GoVersion   string              `json:"go_version"`
+	Experiments []compactExperiment `json:"experiments"`
+	LookupBench *jsonBench          `json:"lookup_bench,omitempty"`
+}
+
+// compacted rewrites the full report into the summary-only shape.
+func compacted(r jsonReport) compactReport {
+	out := compactReport{Scale: r.Scale, Seed: r.Seed, GoVersion: r.GoVersion, LookupBench: r.LookupBench}
+	for _, e := range r.Experiments {
+		ce := compactExperiment{Name: e.Name, Title: e.Title, Header: strings.Join(e.Header, " | ")}
+		for _, row := range e.Rows {
+			ce.Rows = append(ce.Rows, strings.Join(row, " | "))
+		}
+		out.Experiments = append(out.Experiments, ce)
+	}
+	return out
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
 	full := flag.Bool("full", false, "paper-scale inputs (§10.1); slow")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonPath := flag.String("json", "", "write results as machine-readable JSON to this file")
+	compact := flag.Bool("compact", false, "with -json: summary-only deterministic shape (no timestamp/elapsed, one line per table row)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address while running")
 	flag.Parse()
 
@@ -266,12 +304,19 @@ func main() {
 			}
 			return experiments.FaultsTable(r), nil
 		},
+		"cache": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.CacheHotKey(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.CacheHotKeyTable(r), nil
+		},
 	}
 	order := []string{
 		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
 		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
 		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
-		"sharded", "compiled", "faults",
+		"sharded", "compiled", "faults", "cache",
 	}
 
 	names := order
@@ -323,7 +368,11 @@ func main() {
 		fmt.Printf("lookup bench: %.1f ns/op compiled (%.1f reference, %.2fx), %.1f ns/op batched, %.1f ns/op sharded-batch, %d allocs/op\n",
 			bench.NsPerOp, bench.NsPerOpReference, bench.CompiledSpeedup,
 			bench.NsPerOpBatch, bench.NsPerOpShardBat, bench.AllocsPerOp)
-		data, err := json.MarshalIndent(report, "", "  ")
+		var toWrite any = report
+		if *compact {
+			toWrite = compacted(report)
+		}
+		data, err := json.MarshalIndent(toWrite, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
 			os.Exit(1)

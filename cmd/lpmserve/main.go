@@ -8,6 +8,13 @@
 //
 //	lpmserve -rules rules.txt -width 32 [-bucket 8] [-model model.bin]
 //	         [-addr :8080] [-sram MB] [-shards N] [-autocommit 100ms]
+//	         [-cache-bytes N]
+//
+// -cache-bytes N puts an epoch-invalidated hot-key result cache (DESIGN.md
+// §12) in front of the lookup pipeline: repeated keys answer from a
+// set-associative result array, and every rule-table update invalidates the
+// whole plane by bumping an epoch. /lookup and /trace report the per-query
+// outcome in a "cache" field; 0 disables the plane entirely.
 //
 // With -shards N the rule-set is partitioned by top key bits into N
 // independent sub-engines (the paper's §6 bank-parallel pipeline); /batch
@@ -60,6 +67,7 @@ func main() {
 	autocommit := flag.Duration("autocommit", 100*time.Millisecond, "background commit interval for dirty shards (requires -shards)")
 	staleBudget := flag.Duration("stale-budget", shard.DefaultStaleBudget, "how long a shard may keep failing commits before /healthz reports it stale (503)")
 	drain := flag.Duration("drain", serve.DefaultDrainTimeout, "how long to let in-flight requests finish on SIGINT/SIGTERM")
+	cacheBytes := flag.Int("cache-bytes", 0, "hot-key result cache size in bytes per worker (0 = off)")
 	flag.Parse()
 
 	if *rulesPath == "" {
@@ -81,6 +89,10 @@ func main() {
 		srv, sh = buildSharded(rs, cfg, *shards, *autocommit, *staleBudget, *modelPath, *sramMB, *verify)
 	} else {
 		srv = buildSingle(rs, cfg, *modelPath, *sramMB, *verify)
+	}
+	if *cacheBytes > 0 {
+		srv.UseResultCache(*cacheBytes)
+		fmt.Fprintf(os.Stderr, "lpmserve: hot-key result cache enabled (%d bytes per worker)\n", *cacheBytes)
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -22,6 +22,7 @@ import (
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/fault"
 	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/ranges"
 	"neurolpm/internal/rqrmi"
@@ -83,7 +84,20 @@ type Engine struct {
 	// re-own ranges or rewrite actions but never move a boundary.
 	comp        *rqrmi.Compiled
 	rangeLows64 []uint64
+
+	// epoch is the result-cache invalidation counter (DESIGN.md §12). Every
+	// post-build mutation — tombstone Delete, ModifyAction — bumps it, and
+	// InsertBatch hands the same pointer to the rebuilt engine so the counter
+	// is monotonic across an Updatable lineage's engine swaps (an epoch that
+	// restarted at 1 per engine would let a stale entry from a prior engine
+	// collide with a live epoch).
+	epoch *lcache.Epoch
 }
+
+// CacheEpoch exposes the engine's result-cache invalidation counter.
+// Lookup-cache users load it before touching engine state and stamp fills
+// with the loaded value (see internal/lcache).
+func (e *Engine) CacheEpoch() *lcache.Epoch { return e.epoch }
 
 // Build runs the offline preparation stage on the rule-set.
 func Build(rs *lpm.RuleSet, cfg Config) (*Engine, error) {
@@ -106,6 +120,7 @@ func Build(rs *lpm.RuleSet, cfg Config) (*Engine, error) {
 		rules: rs.Clone(),
 		live:  make([]atomic.Bool, rs.Len()),
 		ra:    ra,
+		epoch: new(lcache.Epoch),
 	}
 	for i := range e.live {
 		e.live[i].Store(true)
@@ -172,6 +187,7 @@ func BuildWithModel(rs *lpm.RuleSet, cfg Config, m *rqrmi.Model, verify bool) (*
 		live:  make([]atomic.Bool, rs.Len()),
 		ra:    ra,
 		model: m,
+		epoch: new(lcache.Epoch),
 	}
 	for i := range e.live {
 		e.live[i].Store(true)
@@ -400,6 +416,16 @@ func (e *Engine) LookupBatchMem(ks []keys.Value, out []BatchResult, mem cachesim
 		out = make([]BatchResult, len(ks))
 	}
 	out = out[:len(ks)]
+	e.finishBatch(ks, mem, func(i int, r BatchResult) { out[i] = r })
+	return out
+}
+
+// finishBatch runs the pipelined batch tail — blocked PredictBatch inference
+// plus the instrumented per-key finish — delivering ks[i]'s answer through
+// emit(i, result). It is the engine half shared by LookupBatchMem (emit
+// writes positionally) and LookupBatchCachedMem (emit scatters to the miss
+// positions and fills the result cache).
+func (e *Engine) finishBatch(ks []keys.Value, mem cachesim.Mem, emit func(i int, r BatchResult)) {
 	var preds [batchBlock]rqrmi.Prediction
 	for start := 0; start < len(ks); start += batchBlock {
 		n := len(ks) - start
@@ -412,10 +438,9 @@ func (e *Engine) LookupBatchMem(ks []keys.Value, out []BatchResult, mem cachesim
 			var tr Trace
 			tr.Prediction = preds[i]
 			e.finish(blk[i], &tr, mem, nil, false)
-			out[start+i] = BatchResult{Action: tr.Action, Matched: tr.Matched}
+			emit(start+i, BatchResult{Action: tr.Action, Matched: tr.Matched})
 		}
 	}
-	return out
 }
 
 // resolve maps a range index to its action, honouring tombstones.
@@ -436,6 +461,10 @@ func (e *Engine) ModifyAction(prefix keys.Value, length int, action uint64) erro
 	}
 	e.rules.Rules[idx].Action = action
 	e.ra.SetAction(int32(idx), action)
+	// The action rewrite above is complete (atomic store) before the bump, so
+	// any cached-lookup probe that observes the new epoch recomputes from the
+	// post-modify state (lcache's fill/invalidate ordering argument).
+	e.epoch.Bump()
 	return nil
 }
 
@@ -477,6 +506,9 @@ func (e *Engine) Delete(prefix keys.Value, length int) error {
 			e.ra.SetRule(i, int32(o))
 		}
 	}
+	// Tombstone + re-own are fully visible before the bump: a cached action
+	// for a key the deleted rule covered dies on the next probe.
+	e.epoch.Bump()
 	return nil
 }
 
@@ -495,7 +527,15 @@ func (e *Engine) InsertBatch(newRules []lpm.Rule) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Build(rs, e.cfg)
+	next, err := Build(rs, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The rebuilt engine continues the receiver's cache-epoch lineage (no
+	// bump here — the engine is not live yet; Updatable.Commit bumps after
+	// the atomic swap makes it visible).
+	next.epoch = e.epoch
+	return next, nil
 }
 
 // SRAMUsage itemizes the engine's on-chip memory demand in bytes.

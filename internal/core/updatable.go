@@ -121,7 +121,13 @@ func (u *Updatable) Insert(r lpm.Rule) error {
 			return fmt.Errorf("core: rule %s/%d already installed", r.Prefix, r.Len)
 		}
 	}
-	return u.delta.insert(r)
+	if err := u.delta.insert(r); err != nil {
+		return err
+	}
+	// The new rule is queryable through the overlay the moment the mutex
+	// drops; cached results that the rule now shadows must die.
+	e.epoch.Bump()
+	return nil
 }
 
 // ModifyAction and Delete pass through to the engine's no-retrain paths
@@ -130,10 +136,11 @@ func (u *Updatable) ModifyAction(prefix keys.Value, length int, action uint64) e
 	u.mu.Lock()
 	if u.delta.modify(prefix, length, action) {
 		u.mu.Unlock()
+		u.engine.Load().epoch.Bump()
 		return nil
 	}
 	u.mu.Unlock()
-	return u.engine.Load().ModifyAction(prefix, length, action)
+	return u.engine.Load().ModifyAction(prefix, length, action) // bumps on success
 }
 
 // Delete removes a rule from the delta buffer or, failing that, from the
@@ -142,10 +149,11 @@ func (u *Updatable) Delete(prefix keys.Value, length int) error {
 	u.mu.Lock()
 	if u.delta.remove(prefix, length) {
 		u.mu.Unlock()
+		u.engine.Load().epoch.Bump()
 		return nil
 	}
 	u.mu.Unlock()
-	return u.engine.Load().Delete(prefix, length)
+	return u.engine.Load().Delete(prefix, length) // bumps on success
 }
 
 // Commit retrains an engine over the merged rule-set and swaps it in
@@ -186,6 +194,12 @@ func (u *Updatable) Commit() error {
 		u.delta.remove(r.Prefix, r.Len)
 	}
 	u.engine.Store(next)
+	// Bump strictly after the swap is visible (next shares old's epoch
+	// pointer via InsertBatch): a reader that loads the post-bump epoch is
+	// guaranteed — release on Bump, acquire on Load — to also see the new
+	// engine pointer and the drained delta, so its fill reflects post-commit
+	// state; a reader that loaded the pre-bump epoch fills dead entries.
+	next.epoch.Bump()
 	return nil
 }
 

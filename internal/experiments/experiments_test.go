@@ -540,3 +540,37 @@ func TestFaults(t *testing.T) {
 		t.Fatal("nil table")
 	}
 }
+
+func TestCacheHotKey(t *testing.T) {
+	cells, err := CacheHotKey(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hot rows (uncached + 2 sizes) + 2 mid + 2 uniform + 1 storm.
+	if len(cells) != 8 {
+		t.Fatalf("%d rows, want 8", len(cells))
+	}
+	for _, c := range cells {
+		if c.Mismatches != 0 {
+			t.Errorf("%s @%dKB: %d oracle mismatches — the cache served a wrong answer", c.Workload, c.CacheKB, c.Mismatches)
+		}
+		if c.MLookupsPS <= 0 {
+			t.Errorf("%s @%dKB: nonpositive rate %f", c.Workload, c.CacheKB, c.MLookupsPS)
+		}
+	}
+	// The hot-key regime is the point of the plane: the cached rows must hit
+	// often. (Throughput ratios are asserted only at lpmbench scale — CI
+	// machines are too noisy for a speedup bound at testScale.)
+	if hit := cells[1].HitPct; hit < 50 {
+		t.Errorf("zipf/loc0.9 @%dKB hit rate %.1f%%, want well above 50%%", cells[1].CacheKB, hit)
+	}
+	// Storm row: delta overlay + failing commits, still zero mismatches and
+	// a live hit rate.
+	storm := cells[len(cells)-1]
+	if storm.HitPct <= 0 {
+		t.Errorf("storm row hit rate %.1f%%, want > 0", storm.HitPct)
+	}
+	if CacheHotKeyTable(cells) == nil {
+		t.Fatal("nil table")
+	}
+}

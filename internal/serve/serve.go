@@ -22,6 +22,7 @@ import (
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
 	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
@@ -40,6 +41,12 @@ type Server struct {
 	mu    sync.Mutex // guards cache when non-nil
 	cache *cachesim.Cache
 	plain *cachesim.Uncached
+
+	// rcache is the single-engine result-cache plane (DESIGN.md §12): each
+	// request checks a cache out of the pool, owns it for the request, and
+	// returns it — no locks on the probe path. In sharded mode the plane
+	// lives inside the shard router (EnableCache) and this stays nil.
+	rcache *lcache.Pool
 }
 
 // New wraps an engine. reg is the registry /metrics renders; pass
@@ -77,6 +84,50 @@ func (s *Server) width() int {
 func (s *Server) UseCache(c *cachesim.Cache) {
 	s.cache = c
 	c.Register(s.reg, "neurolpm_serve_cache")
+}
+
+// UseResultCache enables the hot-key result cache (the -cache-bytes flag):
+// /lookup, /batch and /trace probe epoch-invalidated result caches of the
+// given per-cache size before touching the inference pipeline. Call before
+// serving traffic. bytes ≤ 0 is a no-op.
+func (s *Server) UseResultCache(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	if s.sh != nil {
+		s.sh.EnableCache(bytes)
+		return
+	}
+	s.rcache = lcache.NewPool(bytes)
+}
+
+// resultCacheEnabled reports whether the result-cache plane is live in the
+// current mode (/lookup and /trace include the "cache" field only then).
+func (s *Server) resultCacheEnabled() bool {
+	if s.sh != nil {
+		return s.sh.CacheEnabled()
+	}
+	return s.rcache != nil
+}
+
+// cachedLookup answers k through the single-engine result cache: the epoch
+// is loaded before the engine runs, hits skip the pipeline entirely, misses
+// and stale entries run the configured memory-model path and refill.
+func (s *Server) cachedLookup(k keys.Value) (core.Trace, lcache.Outcome) {
+	c := s.rcache.Get()
+	defer s.rcache.Put(c)
+	if c.Bypassed(1) {
+		tr, _ := s.lookup(k, false)
+		return tr, lcache.None
+	}
+	epoch := s.eng.CacheEpoch().Load()
+	a, m, o := c.Get(k, epoch)
+	if o == lcache.Hit {
+		return core.Trace{Action: a, Matched: m}, o
+	}
+	tr, _ := s.lookup(k, false)
+	c.Put(k, epoch, tr.Action, tr.Matched)
+	return tr, o
 }
 
 // read routes one query's DRAM traffic through the configured memory model.
@@ -144,7 +195,9 @@ func writeRuntimeMetrics(w http.ResponseWriter) {
 		ms.NumGC)
 }
 
-// lookupResponse is the /lookup JSON shape.
+// lookupResponse is the /lookup JSON shape. Cache reports the result-cache
+// outcome ("hit" | "miss" | "stale" | "off") when the plane is enabled; a
+// hit answers without the pipeline, so its paper-unit fields are zero.
 type lookupResponse struct {
 	Key        string `json:"key"`
 	Matched    bool   `json:"matched"`
@@ -153,6 +206,7 @@ type lookupResponse struct {
 	ErrorBound int    `json:"error_bound"`
 	BucketRead bool   `json:"bucket_read"`
 	DRAMBytes  int    `json:"dram_bytes"`
+	Cache      string `json:"cache,omitempty"`
 }
 
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
@@ -162,8 +216,27 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.sh != nil {
+		if s.sh.CacheEnabled() {
+			action, ok, o := s.sh.LookupCached(k)
+			writeJSON(w, lookupResponse{Key: k.String(), Matched: ok, Action: action, Cache: o.String()})
+			return
+		}
 		action, ok := s.sh.Lookup(k)
 		writeJSON(w, lookupResponse{Key: k.String(), Matched: ok, Action: action})
+		return
+	}
+	if s.rcache != nil {
+		tr, o := s.cachedLookup(k)
+		writeJSON(w, lookupResponse{
+			Key:        k.String(),
+			Matched:    tr.Matched,
+			Action:     tr.Action,
+			SRAMProbes: tr.SRAMProbes,
+			ErrorBound: tr.Prediction.Err,
+			BucketRead: tr.BucketRead,
+			DRAMBytes:  tr.DRAMBytes,
+			Cache:      o.String(),
+		})
 		return
 	}
 	tr, _ := s.lookup(k, false)
@@ -192,14 +265,28 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
-		tr core.Trace
-		sp *telemetry.Span
+		tr      core.Trace
+		sp      *telemetry.Span
+		outcome string
 	)
+	// With the result cache enabled, classify the query first (serving and
+	// filling through the cache plane exactly as /lookup would) and then run
+	// the annotated span regardless — /trace exists to show the pipeline, so
+	// a hit still spans. The duplicated pipeline work on a miss is fine for a
+	// debug endpoint.
 	if s.sh != nil {
+		if s.sh.CacheEnabled() {
+			_, _, o := s.sh.LookupCached(k)
+			outcome = o.String()
+		}
 		// Span the key's sub-engine directly; the delta-buffer overlay is
 		// not part of the traced hardware path.
 		tr, sp = s.sh.Engine(s.sh.ShardOf(k)).LookupSpan(k, s.plain)
 	} else {
+		if s.rcache != nil {
+			_, o := s.cachedLookup(k)
+			outcome = o.String()
+		}
 		tr, sp = s.lookup(k, true)
 	}
 	writeJSON(w, traceResponse{
@@ -211,6 +298,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			ErrorBound: tr.Prediction.Err,
 			BucketRead: tr.BucketRead,
 			DRAMBytes:  tr.DRAMBytes,
+			Cache:      outcome,
 		},
 		Span: sp,
 	})
@@ -286,6 +374,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for i, res := range s.sh.LookupBatch(ks) {
 			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
 		}
+	case s.cache == nil && s.rcache != nil:
+		// Result cache on: check a cache out of the pool for the whole batch,
+		// probe every key first, and resolve only the misses through the
+		// pipelined blocks (fills happen on the way out).
+		c := s.rcache.Get()
+		epoch := s.eng.CacheEpoch().Load()
+		for i, res := range s.eng.LookupBatchCachedMem(ks, nil, s.plain, c, epoch) {
+			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
+		}
+		s.rcache.Put(c)
 	case s.cache == nil:
 		// No simulated LRU to serialize against: take the engine's pipelined
 		// batch path, with DRAM traffic still tallied by the uncached model.

@@ -58,7 +58,7 @@ func BenchmarkShardedLookupBatch256Scalar(b *testing.B) {
 	for i := 0; i < b.N; i += 256 {
 		lo := i % (len(ks) - 256)
 		batch := ks[lo : lo+256]
-		sh.lookupBatch(batch, func(shard int, group []int32, out []Result) {
+		sh.lookupBatch(batch, func(shard, _ int, group []int32, out []Result) {
 			e := sh.engines[shard]
 			for _, idx := range group {
 				out[idx].Action, out[idx].Matched = e.Lookup(batch[idx])

@@ -1,0 +1,486 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/fault"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/telemetry"
+)
+
+func TestShardedCachedBatchMatchesOracle(t *testing.T) {
+	const width = 32
+	rs := randomRuleSet(t, width, 2000, 21)
+	s, err := Build(rs, quickBucketed(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.EnableCache(64 << 10)
+	if !s.CacheEnabled() {
+		t.Fatal("cache plane not enabled")
+	}
+	oracle := lpm.NewTrieMatcher(rs)
+	rng := rand.New(rand.NewSource(23))
+	hot := randomKeys(width, 64, 25)
+	batch := make([]keys.Value, 512)
+	for round := 0; round < 16; round++ {
+		for i := range batch {
+			if i%4 == 0 {
+				batch[i] = keys.FromUint64(rng.Uint64() & (1<<width - 1))
+			} else {
+				batch[i] = hot[rng.Intn(len(hot))] // repeats → cache hits
+			}
+		}
+		res := s.LookupBatch(batch)
+		for i, k := range batch {
+			want, wantOK := oracle.Lookup(k)
+			if res[i].Matched != wantOK || (wantOK && res[i].Action != want) {
+				t.Fatalf("round %d key %v: cached batch (%d,%v), oracle (%d,%v)",
+					round, k, res[i].Action, res[i].Matched, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestShardedLookupCachedOutcomes(t *testing.T) {
+	const width = 32
+	rs := randomRuleSet(t, width, 500, 31)
+	s, err := Build(rs, quickBucketed(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	k := randomKeys(width, 1, 33)[0]
+	if _, _, o := s.LookupCached(k); o != lcache.None {
+		t.Fatalf("outcome with the plane disabled = %v, want none/off", o)
+	}
+	s.EnableCache(32 << 10)
+	if _, _, o := s.LookupCached(k); o != lcache.Miss {
+		t.Fatalf("first cached probe = %v, want miss", o)
+	}
+	// sync.Pool may drop the worker cache between probes (GC runs more often
+	// under -race), losing the fill — so require a hit within a few probes
+	// rather than on exactly the second one.
+	hit := false
+	for i := 0; i < 32 && !hit; i++ {
+		_, _, o := s.LookupCached(k)
+		hit = o == lcache.Hit
+	}
+	if !hit {
+		t.Fatal("no cache hit within 32 repeated probes of the same key")
+	}
+	// Mutating the key's shard engine must invalidate: delete any rule from
+	// that shard (the epoch is per-shard, so this key's next probe is stale).
+	e := s.Engine(s.ShardOf(k))
+	before := e.CacheEpoch().Load()
+	r := rs.Rules[0]
+	for _, rr := range rs.Rules {
+		lo, hi := shardSpan(width, 1, rr)
+		if lo <= s.ShardOf(k) && s.ShardOf(k) <= hi {
+			r = rr
+			break
+		}
+	}
+	if err := e.Delete(r.Prefix, r.Len); err != nil {
+		// The picked rule may not be installed in this sub-engine with a
+		// replication miss; skip rather than contort the fixture.
+		t.Skipf("probe rule not deletable in shard: %v", err)
+	}
+	if after := e.CacheEpoch().Load(); after != before+1 {
+		t.Fatalf("shard-engine delete did not bump its epoch: %d → %d", before, after)
+	}
+	// The warm entry must now classify as stale. A probe that lands on a
+	// pool-dropped (fresh) cache misses and re-fills instead, and a stale
+	// probe itself re-fills at the new epoch — so drive the loop: a hit means
+	// the entry was re-filled fresh, so bump the epoch and probe again.
+	stale := false
+	for i := 0; i < 64 && !stale; i++ {
+		_, _, o := s.LookupCached(k)
+		switch o {
+		case lcache.Stale:
+			stale = true
+		case lcache.Hit:
+			e.CacheEpoch().Bump()
+		}
+	}
+	if !stale {
+		t.Fatal("never observed a stale outcome after the shard engine's epoch was bumped")
+	}
+}
+
+// TestShardedUpdatableCachedSequentialStorm interleaves cached lookups with
+// inserts, deletes, modifies, failed and successful commits, checking every
+// answer against a lockstep trie oracle — the sequential half of the
+// "0 oracle mismatches under updates" acceptance bar (the concurrent half is
+// TestConcurrentCachedReadersWithUpdates and FuzzCachedVsOracle).
+func TestShardedUpdatableCachedSequentialStorm(t *testing.T) {
+	const width = 32
+	rs := randomRuleSet(t, width, 400, 51)
+	in := fault.NewInjector(99)
+	cfg := core.Config{BucketSize: 8, Model: quickModel(), Fault: in.Hook()}
+	u, err := BuildUpdatable(rs, cfg, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.EnableCache(64 << 10)
+
+	live := append([]lpm.Rule(nil), rs.Rules...)
+	rng := rand.New(rand.NewSource(53))
+	hot := randomKeys(width, 48, 57)
+	check := func(stage string) {
+		t.Helper()
+		set, err := lpm.NewRuleSet(width, append([]lpm.Rule(nil), live...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := lpm.NewTrieMatcher(set)
+		// Probe the hot set twice per stage — the second pass is all cache
+		// hits unless an update invalidated — plus fresh random keys, through
+		// both the batch and the single-key cached paths.
+		batch := append(append([]keys.Value(nil), hot...), hot...)
+		for i := 0; i < 16; i++ {
+			batch = append(batch, keys.FromUint64(rng.Uint64()&(1<<width-1)))
+		}
+		res := u.LookupBatch(batch)
+		for i, k := range batch {
+			want, wantOK := oracle.Lookup(k)
+			if res[i].Matched != wantOK || (wantOK && res[i].Action != want) {
+				t.Fatalf("%s: batch key %v: (%d,%v), oracle (%d,%v)",
+					stage, k, res[i].Action, res[i].Matched, want, wantOK)
+			}
+		}
+		for _, k := range hot {
+			got, ok, _ := u.LookupCached(k)
+			want, wantOK := oracle.Lookup(k)
+			if ok != wantOK || (wantOK && got != want) {
+				t.Fatalf("%s: cached key %v: (%d,%v), oracle (%d,%v)", stage, k, got, ok, want, wantOK)
+			}
+		}
+	}
+
+	check("baseline")
+	for step := 0; step < 40; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert
+			r := lpm.Rule{
+				Prefix: keys.FromUint64(rng.Uint64() & (1<<width - 1)),
+				Len:    width,
+				Action: uint64(rng.Intn(1000)) + 1,
+			}
+			dup := false
+			for _, lr := range live {
+				if lr.Prefix == r.Prefix && lr.Len == r.Len {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if err := u.Insert(r); err != nil {
+				if errors.Is(err, core.ErrDeltaFull) {
+					continue
+				}
+				t.Fatalf("insert: %v", err)
+			}
+			live = append(live, r)
+		case 4, 5: // delete
+			j := rng.Intn(len(live))
+			if err := u.Delete(live[j].Prefix, live[j].Len); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		case 6, 7: // modify
+			j := rng.Intn(len(live))
+			a := uint64(rng.Intn(1000)) + 2000
+			if err := u.ModifyAction(live[j].Prefix, live[j].Len, a); err != nil {
+				t.Fatalf("modify: %v", err)
+			}
+			live[j].Action = a
+		case 8: // failed commit
+			s := rng.Intn(u.Shards())
+			if u.shards[s].PendingInserts() == 0 {
+				continue
+			}
+			in.FailNext(fault.SiteRetrain, 1)
+			err := u.Commit(s)
+			in.Clear(fault.SiteRetrain)
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("injected commit failure lost: %v", err)
+			}
+		case 9: // successful commit
+			s := rng.Intn(u.Shards())
+			if u.shards[s].PendingInserts() == 0 {
+				continue
+			}
+			if err := u.Commit(s); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+		}
+		check(fmt.Sprintf("step %d", step))
+	}
+	if err := u.CommitAll(); err != nil {
+		t.Fatal(err)
+	}
+	check("after final commit")
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCachedReadersWithUpdates is the cached torn-snapshot stress:
+// cached batch readers stream a probe key + steady keys while a writer
+// insert/delete-cycles the probe rule and the background committer rebuilds.
+// The cache must never let an answer escape the {base, probe} envelope — a
+// stale cached action surviving an update would show up here as a torn read.
+// Runs under -race in CI's race-and-fuzz job.
+func TestConcurrentCachedReadersWithUpdates(t *testing.T) {
+	const width = 16
+	rs := randomRuleSet(t, width, 200, 41)
+	u, err := BuildUpdatable(rs, quickBucketed(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	u.EnableCache(32 << 10)
+	u.StartAutoCommit(2*time.Millisecond, 4)
+
+	probe := freeProbeRule(t, rs, width)
+	baseAction, baseOK := lpm.NewTrieMatcher(rs).Lookup(probe.Prefix)
+	steady := randomKeys(width, 128, 43)
+	for i, k := range steady {
+		if k == probe.Prefix {
+			steady[i] = k.Xor(keys.FromUint64(1))
+		}
+	}
+	oracle := lpm.NewTrieMatcher(rs)
+	steadyWant := make([]Result, len(steady))
+	for i, k := range steady {
+		steadyWant[i].Action, steadyWant[i].Matched = oracle.Lookup(k)
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]keys.Value, 0, 2*len(steady)+2)
+			// Every key appears twice per batch so the second occurrence
+			// exercises the intra-batch hit path.
+			batch = append(batch, probe.Prefix)
+			batch = append(batch, steady...)
+			batch = append(batch, probe.Prefix)
+			batch = append(batch, steady...)
+			for !stop.Load() {
+				res := u.LookupBatch(batch)
+				for _, pi := range []int{0, len(steady) + 1} {
+					got := res[pi]
+					probeSeen := got.Matched && got.Action == probe.Action
+					baseSeen := got.Matched == baseOK && (!baseOK || got.Action == baseAction)
+					if !probeSeen && !baseSeen {
+						torn.Add(1)
+					}
+				}
+				for i, want := range steadyWant {
+					if res[i+1] != want || res[i+2+len(steady)] != want {
+						torn.Add(1)
+					}
+				}
+				// The single-key cached path races the same updates.
+				a, ok, _ := u.LookupCached(probe.Prefix)
+				probeSeen := ok && a == probe.Action
+				baseSeen := ok == baseOK && (!baseOK || a == baseAction)
+				if !probeSeen && !baseSeen {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	cycles := 0
+	for time.Now().Before(deadline) {
+		if err := u.Insert(probe); err != nil {
+			t.Errorf("insert: %v", err)
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+		if err := u.Delete(probe.Prefix, probe.Len); err != nil {
+			t.Errorf("delete: %v", err)
+			break
+		}
+		cycles++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if got := torn.Load(); got != 0 {
+		t.Fatalf("%d stale/torn cached reads over %d writer cycles", got, cycles)
+	}
+	if err := u.LastCommitErr(); err != nil {
+		t.Fatalf("background commit failed: %v", err)
+	}
+	if cycles < 10 {
+		t.Fatalf("writer made only %d cycles; stress run too short", cycles)
+	}
+	hits := telemetry.Default.Counter("neurolpm_lcache_hits_total", "")
+	if hits.Load() == 0 {
+		t.Fatal("stress run produced zero cache hits — cached path not exercised")
+	}
+}
+
+// FuzzCachedVsOracle is the cached differential fuzz target (ISSUE 5):
+// arbitrary interleavings of lookups with inserts, deletes, modifies and
+// failed/successful commits — the latter injected through internal/fault —
+// must keep every CACHED answer (single-key and batch, first probe and
+// repeat probe) equal to the trie oracle over the logical rule-set.
+func FuzzCachedVsOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2, 0, 1, 2, 3, 4, 5, 6, 3, 0, 0, 0, 0, 0, 0, 0}, uint64(1), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 3, 1, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0}, uint64(42), uint8(2))
+	f.Add([]byte{}, uint64(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, keySeed uint64, shardSel uint8) {
+		const width = 32
+		split := len(data) / 2
+		base := deriveRules(width, data[:split])
+		rs, err := lpm.NewRuleSet(width, base)
+		if err != nil {
+			t.Fatalf("derived rule-set invalid: %v", err)
+		}
+		nShards := []int{2, 4, 8}[int(shardSel)%3]
+		in := fault.NewInjector(keySeed | 1)
+		cfg := core.Config{BucketSize: 8, Model: fuzzModel(), Fault: in.Hook()}
+		u, err := BuildUpdatable(rs, cfg, nShards, 0)
+		if err != nil {
+			t.Fatalf("BuildUpdatable(%d shards, %d rules): %v", nShards, rs.Len(), err)
+		}
+		u.EnableCache(lcache.MinBytes) // tiny tables: maximal eviction pressure
+
+		type ruleKey struct {
+			p keys.Value
+			l int
+		}
+		live := append([]lpm.Rule(nil), base...)
+		installed := map[ruleKey]bool{}
+		for _, r := range base {
+			installed[ruleKey{r.Prefix, r.Len}] = true
+		}
+		rng := rand.New(rand.NewSource(int64(keySeed)))
+		check := func(stage string) {
+			t.Helper()
+			set, err := lpm.NewRuleSet(width, append([]lpm.Rule(nil), live...))
+			if err != nil {
+				t.Fatalf("%s: model rule-set invalid: %v", stage, err)
+			}
+			oracle := lpm.NewTrieMatcher(set)
+			ks := make([]keys.Value, 0, 2*len(live)+16)
+			for _, r := range live {
+				ks = append(ks, r.Low(width), r.High(width))
+			}
+			for i := 0; i < 16; i++ {
+				ks = append(ks, keys.FromUint64(rng.Uint64()&(1<<width-1)))
+			}
+			// Batch with every key doubled: second occurrence exercises the
+			// intra-batch hit path under whatever the current epochs are.
+			batch := append(append([]keys.Value(nil), ks...), ks...)
+			res := u.LookupBatch(batch)
+			for i, k := range batch {
+				want, wantOK := oracle.Lookup(k)
+				if res[i].Matched != wantOK || (wantOK && res[i].Action != want) {
+					t.Fatalf("%s: batch[%d] key %v: (%d,%v), oracle (%d,%v)",
+						stage, i, k, res[i].Action, res[i].Matched, want, wantOK)
+				}
+			}
+			// Single-key cached path, twice per key (fill then hit).
+			for _, k := range ks {
+				want, wantOK := oracle.Lookup(k)
+				for pass := 0; pass < 2; pass++ {
+					got, ok, _ := u.LookupCached(k)
+					if ok != wantOK || (wantOK && got != want) {
+						t.Fatalf("%s: cached key %v pass %d: (%d,%v), oracle (%d,%v)",
+							stage, k, pass, got, ok, want, wantOK)
+					}
+				}
+			}
+		}
+
+		ops := data[split:]
+		for i, n := 0, 0; i+7 <= len(ops) && n < 12; i, n = i+7, n+1 {
+			switch ops[i] % 5 {
+			case 0: // insert a fresh rule
+				rr := deriveRules(width, ops[i+1:i+7])
+				if len(rr) == 0 || installed[ruleKey{rr[0].Prefix, rr[0].Len}] {
+					continue
+				}
+				r := rr[0]
+				if err := u.Insert(r); err != nil {
+					if errors.Is(err, core.ErrDeltaFull) {
+						continue
+					}
+					t.Fatalf("insert %v: %v", r, err)
+				}
+				installed[ruleKey{r.Prefix, r.Len}] = true
+				live = append(live, r)
+			case 1: // delete an installed rule
+				if len(live) == 0 {
+					continue
+				}
+				j := int(ops[i+1]) % len(live)
+				r := live[j]
+				if err := u.Delete(r.Prefix, r.Len); err != nil {
+					t.Fatalf("delete %v: %v", r, err)
+				}
+				delete(installed, ruleKey{r.Prefix, r.Len})
+				live = append(live[:j], live[j+1:]...)
+			case 2: // modify an installed rule's action
+				if len(live) == 0 {
+					continue
+				}
+				j := int(ops[i+1]) % len(live)
+				a := uint64(ops[i+2]) + 1
+				if err := u.ModifyAction(live[j].Prefix, live[j].Len, a); err != nil {
+					t.Fatalf("modify %v: %v", live[j], err)
+				}
+				live[j].Action = a
+			case 3: // failed commit of a dirty shard
+				s := int(ops[i+1]) % u.Shards()
+				if u.shards[s].PendingInserts() == 0 {
+					continue
+				}
+				in.FailNext(fault.SiteRetrain, 1)
+				err := u.Commit(s)
+				in.Clear(fault.SiteRetrain)
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("injected commit failure lost: %v", err)
+				}
+			case 4: // successful commit of a dirty shard
+				s := int(ops[i+1]) % u.Shards()
+				if u.shards[s].PendingInserts() == 0 {
+					continue
+				}
+				if err := u.Commit(s); err != nil {
+					t.Fatalf("commit shard %d: %v", s, err)
+				}
+			}
+			check(fmt.Sprintf("after op %d", i/7))
+		}
+		if err := u.CommitAll(); err != nil {
+			t.Fatalf("final CommitAll: %v", err)
+		}
+		check("after recovery")
+		if err := u.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}

@@ -16,29 +16,32 @@ type padUint64 struct {
 
 // pool is a fixed set of workers draining a job channel — the software
 // analogue of the paper's fixed complement of binary-search FSMs (§6.2):
-// capacity is provisioned once, work queues when all units are busy.
+// capacity is provisioned once, work queues when all units are busy. Jobs
+// receive the executing worker's index (0..workers-1): per-worker state like
+// the result-cache plane keys off it, since a worker runs one job at a time.
 type pool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
-	once sync.Once
+	jobs    chan func(worker int)
+	workers int
+	wg      sync.WaitGroup
+	once    sync.Once
 }
 
 func newPool(workers int) *pool {
-	p := &pool{jobs: make(chan func(), workers)}
+	p := &pool{jobs: make(chan func(int), workers), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go func() {
+		go func(w int) {
 			defer p.wg.Done()
 			for f := range p.jobs {
-				f()
+				f(w)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
 
 // submit blocks until a worker accepts the job.
-func (p *pool) submit(f func()) { p.jobs <- f }
+func (p *pool) submit(f func(worker int)) { p.jobs <- f }
 
 // close stops the workers after the queue drains. Idempotent.
 func (p *pool) close() {

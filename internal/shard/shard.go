@@ -28,6 +28,7 @@ import (
 
 	"neurolpm/internal/core"
 	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/telemetry"
 )
@@ -57,6 +58,7 @@ type router struct {
 	shardBits int
 	pool      *pool
 	loads     []padUint64 // per-shard lookups served (balance telemetry)
+	cache     *cachePlane // result-cache plane; nil until EnableCache
 }
 
 // Build partitions the rule-set into nShards sub-engines (a power of two,
@@ -198,14 +200,31 @@ func (s *Sharded) Lookup(k keys.Value) (uint64, bool) {
 	return s.engines[i].Lookup(k)
 }
 
+// LookupCached is Lookup through the result-cache plane, reporting how the
+// cache participated (lcache.None when the plane is disabled or bypassed).
+// The probing cache is checked out of the spare pool for the call, so it is
+// safe for concurrent use like Lookup.
+func (s *Sharded) LookupCached(k keys.Value) (uint64, bool, lcache.Outcome) {
+	i := s.ShardOf(k)
+	s.loads[i].n.Add(1)
+	c, spare := s.cacheFor(-1)
+	a, m, o := s.engines[i].LookupCached(k, c)
+	s.releaseCache(c, spare)
+	return a, m, o
+}
+
 // LookupBatch resolves a batch of keys, grouping them by shard and fanning
 // the groups out over the worker pool. Results are positional: out[i]
 // answers ks[i]. It is safe for concurrent use. Each shard's group runs
-// through the engine's pipelined batch path (core.Engine.LookupBatch), so
-// the compiled plane overlaps inference across the group's keys.
+// through the engine's pipelined batch path (core.Engine.LookupBatch) — with
+// the result-cache plane enabled, through the cached batch path on the
+// executing worker's private cache: probe all keys, infer only the misses.
 func (s *Sharded) LookupBatch(ks []keys.Value) []Result {
-	return s.lookupBatch(ks, func(shard int, group []int32, out []Result) {
-		batchGroup(s.engines[shard], ks, group, out)
+	return s.lookupBatch(ks, func(shard, worker int, group []int32, out []Result) {
+		e := s.engines[shard]
+		c, spare := s.cacheFor(worker)
+		batchGroup(e, ks, group, out, c, e.CacheEpoch().Load())
+		s.releaseCache(c, spare)
 	})
 }
 
@@ -219,8 +238,10 @@ type keyScratch struct {
 var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
 
 // batchGroup gathers one shard's keys contiguously, answers them through the
-// engine's batched lookup, and scatters the results back to their positions.
-func batchGroup(e *core.Engine, ks []keys.Value, group []int32, out []Result) {
+// engine's batched lookup — cached when c is non-nil, at the epoch the
+// caller loaded before any staleness checks — and scatters the results back
+// to their positions.
+func batchGroup(e *core.Engine, ks []keys.Value, group []int32, out []Result, c *lcache.Cache, epoch uint64) {
 	sc := keyScratchPool.Get().(*keyScratch)
 	if cap(sc.ks) < len(group) {
 		sc.ks = make([]keys.Value, len(group))
@@ -229,7 +250,7 @@ func batchGroup(e *core.Engine, ks []keys.Value, group []int32, out []Result) {
 	for i, idx := range group {
 		gk[i] = ks[idx]
 	}
-	res := e.LookupBatch(gk, sc.res[:0])
+	res := e.LookupBatchCached(gk, sc.res[:0], c, epoch)
 	for i, idx := range group {
 		out[idx] = Result{Action: res[i].Action, Matched: res[i].Matched}
 	}
@@ -273,9 +294,11 @@ func grow(s []int32, n int) []int32 {
 // shard's group back-to-back so consecutive queries reuse that shard's
 // model and RQ-Array cache lines. lookGroup answers one shard's whole
 // group (out[idx] ← answer for ks[idx], idx ∈ group) so implementations
-// hoist the sub-engine out of the per-key loop. Groups run on the pool, or
-// serially when the pool is absent (single shard or GOMAXPROCS=1).
-func (r *router) lookupBatch(ks []keys.Value, lookGroup func(shard int, group []int32, out []Result)) []Result {
+// hoist the sub-engine out of the per-key loop; worker is the executing
+// pool worker's index (−1 on the serial path), the handle to per-worker
+// state like the result-cache plane. Groups run on the pool, or serially
+// when the pool is absent (single shard or GOMAXPROCS=1).
+func (r *router) lookupBatch(ks []keys.Value, lookGroup func(shard, worker int, group []int32, out []Result)) []Result {
 	out := make([]Result, len(ks))
 	if len(ks) == 0 {
 		return out
@@ -290,7 +313,7 @@ func (r *router) lookupBatch(ks []keys.Value, lookGroup func(shard int, group []
 		for i := range ks {
 			whole[i] = int32(i)
 		}
-		lookGroup(0, whole, out)
+		lookGroup(0, -1, whole, out)
 		sc.order = whole
 		scratchPool.Put(sc)
 		r.loads[0].n.Add(uint64(len(ks)))
@@ -318,15 +341,15 @@ func (r *router) lookupBatch(ks []keys.Value, lookGroup func(shard int, group []
 		order[fill[s]] = int32(i)
 		fill[s]++
 	}
-	run := func(s int) {
+	run := func(s, worker int) {
 		group := order[starts[s]:starts[s+1]]
-		lookGroup(s, group, out)
+		lookGroup(s, worker, group, out)
 		r.loads[s].n.Add(uint64(len(group)))
 	}
 	if r.pool == nil {
 		for s := 0; s < n; s++ {
 			if counts[s] > 0 {
-				run(s)
+				run(s, -1)
 			}
 		}
 	} else {
@@ -337,7 +360,7 @@ func (r *router) lookupBatch(ks []keys.Value, lookGroup func(shard int, group []
 			}
 			s := s
 			wg.Add(1)
-			r.pool.submit(func() { defer wg.Done(); run(s) })
+			r.pool.submit(func(w int) { defer wg.Done(); run(s, w) })
 		}
 		wg.Wait()
 	}

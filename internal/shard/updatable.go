@@ -8,6 +8,7 @@ import (
 
 	"neurolpm/internal/core"
 	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
 )
 
@@ -91,21 +92,54 @@ func (u *ShardedUpdatable) Lookup(k keys.Value) (uint64, bool) {
 	return u.shards[i].Lookup(k)
 }
 
+// LookupCached is Lookup through the result-cache plane (a spare cache is
+// checked out for the call). Safe for concurrent use, including with
+// updates: the shard's epoch is loaded before its delta or engine is read,
+// so a fill can never pin a pre-update answer past the update.
+func (u *ShardedUpdatable) LookupCached(k keys.Value) (uint64, bool, lcache.Outcome) {
+	i := u.ShardOf(k)
+	u.loads[i].n.Add(1)
+	c, spare := u.cacheFor(-1)
+	a, m, o := u.shards[i].LookupCached(k, c)
+	u.releaseCache(c, spare)
+	return a, m, o
+}
+
 // LookupBatch resolves a batch positionally, fanning shard groups out over
 // the worker pool. Each key's answer is individually consistent: it reflects
 // either the pre- or post-commit state of its shard, never a mix. A shard
 // whose delta buffer is empty answers its whole group through the engine's
 // pipelined batch path (delta empty ⇒ Updatable.Lookup ≡ engine lookup);
 // shards with pending insertions fall back to the per-key overlay lookup.
+// With the cache plane enabled both paths probe the worker's cache first.
+// The epoch is loaded BEFORE the PendingInserts check: an insert landing
+// after the load bumps the epoch, so results this group caches are already
+// dead — closing the window where an engine-only answer computed before the
+// insert could be cached under the post-insert epoch.
 func (u *ShardedUpdatable) LookupBatch(ks []keys.Value) []Result {
-	return u.lookupBatch(ks, func(shard int, group []int32, out []Result) {
+	return u.lookupBatch(ks, func(shard, worker int, group []int32, out []Result) {
 		s := u.shards[shard]
+		c, spare := u.cacheFor(worker)
+		defer u.releaseCache(c, spare)
+		epoch := s.CacheEpoch().Load()
 		if s.PendingInserts() == 0 {
-			batchGroup(s.Engine(), ks, group, out)
+			batchGroup(s.Engine(), ks, group, out, c, epoch)
+			return
+		}
+		if c.Bypassed(len(group)) {
+			for _, idx := range group {
+				out[idx].Action, out[idx].Matched = s.Lookup(ks[idx])
+			}
 			return
 		}
 		for _, idx := range group {
-			out[idx].Action, out[idx].Matched = s.Lookup(ks[idx])
+			k := ks[idx]
+			a, m, o := c.Get(k, epoch)
+			if o != lcache.Hit {
+				a, m = s.Lookup(k)
+				c.Put(k, epoch, a, m)
+			}
+			out[idx] = Result{Action: a, Matched: m}
 		}
 	})
 }
