@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-json smoke faults fuzz ci
+.PHONY: build vet test race bench bench-smoke bench-json slo smoke faults fuzz ci
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,12 @@ bench-smoke:
 # -compact keeps the committed file diffable (no timestamps, one line per
 # table row).
 bench-json:
-	$(GO) run ./cmd/lpmbench -json BENCH_PR5.json -compact
+	$(GO) run ./cmd/lpmbench -json BENCH_PR6.json -compact
+
+# The flight-recorder & SLO plane experiment (E26): sampling overhead,
+# quantile fidelity, drift and hotness sanity (DESIGN.md §13).
+slo:
+	$(GO) run ./cmd/lpmbench -exp observe
 
 # One fast end-to-end experiment plus the machine-readable report.
 smoke:
@@ -55,5 +60,5 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzShardedUpdateVsOracle -fuzztime $(FUZZTIME) ./internal/shard
 	$(GO) test -run xxx -fuzz FuzzCachedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
 
-ci: build vet race smoke bench-smoke
+ci: build vet race smoke bench-smoke slo
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

@@ -10,7 +10,8 @@
 //
 // Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
 // worstcase binsearch bitwidth updates scaling headline modelsize tss dram
-// replicas designspace worstbw emexpand sharded compiled faults cache all
+// replicas designspace worstbw emexpand sharded compiled faults cache
+// observe all
 //
 // -json writes every experiment's table plus a headline Lookup
 // microbenchmark (ns/op, allocs/op) as machine-readable JSON, so the perf
@@ -40,14 +41,27 @@ import (
 	"neurolpm/internal/workload"
 )
 
+// jsonLatency is the flight recorder's sampled-latency distribution over one
+// experiment: the delta of the cumulative neurolpm_lookup_latency_ns
+// histogram across the experiment's run. Samples counts committed flight
+// records (1 in N lookups), quantiles are log₂-bucket estimates
+// (factor-of-two). Absent when the experiment drove no sampled lookups.
+type jsonLatency struct {
+	Samples uint64  `json:"samples"`
+	P50Ns   float64 `json:"p50_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+	P999Ns  float64 `json:"p999_ns"`
+}
+
 // jsonExperiment is one experiment's machine-readable result.
 type jsonExperiment struct {
-	Name      string     `json:"name"`
-	Title     string     `json:"title"`
-	Header    []string   `json:"header"`
-	Rows      [][]string `json:"rows"`
-	Notes     []string   `json:"notes,omitempty"`
-	ElapsedNs int64      `json:"elapsed_ns"`
+	Name      string       `json:"name"`
+	Title     string       `json:"title"`
+	Header    []string     `json:"header"`
+	Rows      [][]string   `json:"rows"`
+	Notes     []string     `json:"notes,omitempty"`
+	Latency   *jsonLatency `json:"latency,omitempty"`
+	ElapsedNs int64        `json:"elapsed_ns"`
 }
 
 // jsonBench is the headline Lookup microbenchmark. ns_per_op is the
@@ -84,10 +98,11 @@ type jsonReport struct {
 // run-varying fields (timestamp, elapsed) dropped, so BENCH_*.json diffs
 // across PRs show only measurement changes.
 type compactExperiment struct {
-	Name   string   `json:"name"`
-	Title  string   `json:"title"`
-	Header string   `json:"header"`
-	Rows   []string `json:"rows"`
+	Name    string       `json:"name"`
+	Title   string       `json:"title"`
+	Header  string       `json:"header"`
+	Rows    []string     `json:"rows"`
+	Latency *jsonLatency `json:"latency,omitempty"`
 }
 
 // compactReport is the -compact -json output shape.
@@ -103,7 +118,7 @@ type compactReport struct {
 func compacted(r jsonReport) compactReport {
 	out := compactReport{Scale: r.Scale, Seed: r.Seed, GoVersion: r.GoVersion, LookupBench: r.LookupBench}
 	for _, e := range r.Experiments {
-		ce := compactExperiment{Name: e.Name, Title: e.Title, Header: strings.Join(e.Header, " | ")}
+		ce := compactExperiment{Name: e.Name, Title: e.Title, Header: strings.Join(e.Header, " | "), Latency: e.Latency}
 		for _, row := range e.Rows {
 			ce.Rows = append(ce.Rows, strings.Join(row, " | "))
 		}
@@ -311,12 +326,19 @@ func main() {
 			}
 			return experiments.CacheHotKeyTable(r), nil
 		},
+		"observe": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Observe(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.ObserveTable(r), nil
+		},
 	}
 	order := []string{
 		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
 		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
 		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
-		"sharded", "compiled", "faults", "cache",
+		"sharded", "compiled", "faults", "cache", "observe",
 	}
 
 	names := order
@@ -338,8 +360,13 @@ func main() {
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
 	fmt.Printf("# lpmbench scale=%s seed=%d\n\n", scaleName, *seed)
+	// latHist is the flight recorder's cumulative latency histogram; the
+	// snapshot delta across each experiment yields that experiment's sampled
+	// tail-latency row (see jsonLatency).
+	latHist := telemetry.Default.Histogram("neurolpm_lookup_latency_ns", "")
 	for _, name := range names {
 		start := time.Now()
+		latBefore := latHist.Snapshot()
 		tab, err := runners[name](sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lpmbench: %s: %v\n", name, err)
@@ -348,14 +375,23 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Print(tab.Render())
 		fmt.Printf("(%s in %v)\n\n", name, elapsed.Round(time.Millisecond))
-		report.Experiments = append(report.Experiments, jsonExperiment{
+		je := jsonExperiment{
 			Name:      name,
 			Title:     tab.Title,
 			Header:    tab.Header,
 			Rows:      tab.Rows,
 			Notes:     tab.Notes,
 			ElapsedNs: elapsed.Nanoseconds(),
-		})
+		}
+		if d := latHist.Snapshot().Sub(latBefore); d.Total > 0 {
+			je.Latency = &jsonLatency{
+				Samples: d.Total,
+				P50Ns:   d.Quantile(0.50),
+				P99Ns:   d.Quantile(0.99),
+				P999Ns:  d.Quantile(0.999),
+			}
+		}
+		report.Experiments = append(report.Experiments, je)
 	}
 
 	if *jsonPath != "" {

@@ -8,7 +8,7 @@
 //
 //	lpmserve -rules rules.txt -width 32 [-bucket 8] [-model model.bin]
 //	         [-addr :8080] [-sram MB] [-shards N] [-autocommit 100ms]
-//	         [-cache-bytes N]
+//	         [-cache-bytes N] [-flight-sample N]
 //
 // -cache-bytes N puts an epoch-invalidated hot-key result cache (DESIGN.md
 // §12) in front of the lookup pipeline: repeated keys answer from a
@@ -30,8 +30,18 @@
 //	GET /metrics                 Prometheus text format
 //	GET /healthz                 engine summary + per-shard health; 503 once a
 //	                             shard has been failing past -stale-budget
+//	GET /slo                     windowed tail-latency quantiles + per-shard
+//	                             drift/hotness (lpmtop's poll target)
+//	GET /debug/flightrec         the sampled flight-record ring (?n=)
+//	GET /debug/slow              the worst-N slow-query log (?n=)
+//	GET /debug/hotness           a shard's hottest buckets (?shard=&n=)
 //	GET /debug/vars              expvar (includes the "neurolpm" registry)
 //	GET /debug/pprof/...         CPU/heap/goroutine profiles
+//
+// -flight-sample N routes 1 in N queries (N rounded to a power of two)
+// through the flight recorder, stamping per-stage latencies into a fixed
+// ring; 0 disables sampling. The default (256) costs under 2% at paper
+// scale (experiment E26).
 //
 // The daemon stops on SIGINT/SIGTERM: the listener closes immediately and
 // in-flight requests drain (bounded by -drain) before the process exits.
@@ -68,6 +78,7 @@ func main() {
 	staleBudget := flag.Duration("stale-budget", shard.DefaultStaleBudget, "how long a shard may keep failing commits before /healthz reports it stale (503)")
 	drain := flag.Duration("drain", serve.DefaultDrainTimeout, "how long to let in-flight requests finish on SIGINT/SIGTERM")
 	cacheBytes := flag.Int("cache-bytes", 0, "hot-key result cache size in bytes per worker (0 = off)")
+	flightSample := flag.Uint64("flight-sample", telemetry.DefaultSampleEvery, "flight-recorder sampling rate: time 1 in N queries through the stage stack (rounded to a power of two; 0 = off)")
 	flag.Parse()
 
 	if *rulesPath == "" {
@@ -94,6 +105,10 @@ func main() {
 		srv.UseResultCache(*cacheBytes)
 		fmt.Fprintf(os.Stderr, "lpmserve: hot-key result cache enabled (%d bytes per worker)\n", *cacheBytes)
 	}
+	telemetry.Flight.SetSampleEvery(*flightSample)
+	srv.SetInfo("rules", fmt.Sprint(rs.Len()))
+	srv.SetInfo("width", fmt.Sprint(rs.Width))
+	srv.SetInfo("flight_sample", fmt.Sprint(telemetry.Flight.SampleEvery()))
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

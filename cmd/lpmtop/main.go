@@ -1,0 +1,246 @@
+// Command lpmtop is a polling terminal dashboard for a running lpmserve: a
+// top(1)-style view of the flight-recorder & SLO plane (DESIGN.md §13). It
+// polls /slo for windowed tail-latency quantiles, per-shard model drift and
+// bucket-hotness skew, and /debug/slow for the worst recorded queries, and
+// repaints once per interval. QPS is derived client-side from consecutive
+// lookups_total readings, so it reflects every lookup, not just the sampled
+// ones.
+//
+// Usage:
+//
+//	lpmtop [-addr http://localhost:8080] [-interval 1s] [-slow 5] [-once]
+//
+// -once prints a single snapshot without clearing the screen (scripts, CI).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// sloDoc mirrors the /slo response (internal/serve/slo.go). lpmtop is an
+// HTTP client on purpose — it exercises the same surface operators script
+// against — so the shapes are re-declared here rather than imported.
+type sloDoc struct {
+	SampleEvery  uint64 `json:"sample_every"`
+	Recorded     uint64 `json:"recorded"`
+	LookupsTotal uint64 `json:"lookups_total"`
+	Windows      []struct {
+		Window string  `json:"window"`
+		SpanMs int64   `json:"span_ms"`
+		Count  uint64  `json:"count"`
+		P50Ns  float64 `json:"p50_ns"`
+		P99Ns  float64 `json:"p99_ns"`
+		P999Ns float64 `json:"p999_ns"`
+		MeanNs float64 `json:"mean_ns"`
+		MaxNs  uint64  `json:"max_ns"`
+	} `json:"windows"`
+	Shards []struct {
+		Shard       int     `json:"shard"`
+		Drift       float64 `json:"drift"`
+		ProbeBound  int     `json:"probe_bound"`
+		HotnessSkew float64 `json:"hotness_skew"`
+	} `json:"shards"`
+}
+
+// slowDoc mirrors the /debug/slow response.
+type slowDoc struct {
+	Records []struct {
+		When     string           `json:"when"`
+		Key      string           `json:"key"`
+		Shard    int32            `json:"shard"`
+		TotalNs  int64            `json:"total_ns"`
+		StagesNs map[string]int64 `json:"stages_ns"`
+		Probes   int32            `json:"probes"`
+		Cache    string           `json:"cache,omitempty"`
+	} `json:"records"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "lpmserve base URL")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	slowN := flag.Int("slow", 5, "slow-query rows to show (0 = hide)")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var prevLookups uint64
+	var prevAt time.Time
+	for {
+		var b strings.Builder
+		slo, err := fetchSLO(client, *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpmtop: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		qps := -1.0
+		if !prevAt.IsZero() && slo.LookupsTotal >= prevLookups {
+			if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+				qps = float64(slo.LookupsTotal-prevLookups) / dt
+			}
+		}
+		prevLookups, prevAt = slo.LookupsTotal, now
+
+		render(&b, *addr, slo, qps)
+		if *slowN > 0 {
+			if slow, err := fetchSlow(client, *addr, *slowN); err == nil {
+				renderSlow(&b, slow)
+			}
+		}
+
+		if *once {
+			os.Stdout.WriteString(b.String())
+			return
+		}
+		// Home + clear-to-end repaint: no flicker, no scrollback spam.
+		os.Stdout.WriteString("\x1b[H\x1b[2J" + b.String())
+		time.Sleep(*interval)
+	}
+}
+
+func fetchSLO(c *http.Client, base string) (*sloDoc, error) {
+	var doc sloDoc
+	if err := getJSON(c, base+"/slo", &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+func fetchSlow(c *http.Client, base string, n int) (*slowDoc, error) {
+	var doc slowDoc
+	if err := getJSON(c, fmt.Sprintf("%s/debug/slow?n=%d", base, n), &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+func getJSON(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func render(b *strings.Builder, addr string, slo *sloDoc, qps float64) {
+	fmt.Fprintf(b, "lpmtop — %s — %s\n", addr, time.Now().Format("15:04:05"))
+	fmt.Fprintf(b, "lookups %s   qps %s   sampled 1:%d (%s records)\n\n",
+		comma(slo.LookupsTotal), fmtQPS(qps), slo.SampleEvery, comma(slo.Recorded))
+
+	fmt.Fprintf(b, "%-6s %9s %8s %10s %10s %10s %10s %10s\n",
+		"WINDOW", "SPAN", "SAMPLES", "P50", "P99", "P999", "MEAN", "MAX")
+	for _, w := range slo.Windows {
+		span := "boot"
+		if w.SpanMs > 0 {
+			span = (time.Duration(w.SpanMs) * time.Millisecond).Round(100 * time.Millisecond).String()
+		}
+		fmt.Fprintf(b, "%-6s %9s %8s %10s %10s %10s %10s %10s\n",
+			w.Window, span, comma(w.Count),
+			fmtNs(w.P50Ns), fmtNs(w.P99Ns), fmtNs(w.P999Ns),
+			fmtNs(w.MeanNs), fmtNs(float64(w.MaxNs)))
+	}
+
+	if len(slo.Shards) > 0 {
+		shards := slo.Shards
+		sort.Slice(shards, func(i, j int) bool { return shards[i].Shard < shards[j].Shard })
+		fmt.Fprintf(b, "\n%-6s %8s %8s %8s  %s\n", "SHARD", "DRIFT", "BOUND", "SKEW", "")
+		for _, sh := range shards {
+			warn := ""
+			if sh.Drift >= 0.75 {
+				// ≥ 75% of the probe bound consumed: the model is drifting
+				// toward its static ceiling — retrain soon (DESIGN.md §13).
+				warn = "  ← drift: consider retrain"
+			}
+			fmt.Fprintf(b, "%-6d %8.2f %8d %8.2f%s\n",
+				sh.Shard, sh.Drift, sh.ProbeBound, sh.HotnessSkew, warn)
+		}
+	}
+}
+
+func renderSlow(b *strings.Builder, slow *slowDoc) {
+	if len(slow.Records) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\n%-12s %-18s %6s %10s %7s  %s\n",
+		"WHEN", "KEY", "SHARD", "TOTAL", "PROBES", "STAGES")
+	for _, r := range slow.Records {
+		when := r.When
+		if t, err := time.Parse(time.RFC3339Nano, r.When); err == nil {
+			when = t.Local().Format("15:04:05.000")
+		}
+		fmt.Fprintf(b, "%-12s %-18s %6d %10s %7d  %s\n",
+			when, clip(r.Key, 18), r.Shard, fmtNs(float64(r.TotalNs)), r.Probes, stages(r.StagesNs, r.Cache))
+	}
+}
+
+// stages renders the per-stage nanosecond map compactly, in pipeline order.
+func stages(m map[string]int64, cache string) string {
+	order := []string{"lcache-probe", "inference", "secondary-search", "bucket-fetch"}
+	var parts []string
+	if cache != "" {
+		parts = append(parts, "cache="+cache)
+	}
+	for _, st := range order {
+		if ns, ok := m[st]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%s", st, fmtNs(float64(ns))))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}
+
+func fmtQPS(qps float64) string {
+	switch {
+	case qps < 0:
+		return "—" // needs two polls
+	case qps < 1e3:
+		return fmt.Sprintf("%.0f", qps)
+	case qps < 1e6:
+		return fmt.Sprintf("%.1fk", qps/1e3)
+	default:
+		return fmt.Sprintf("%.2fM", qps/1e6)
+	}
+}
+
+// comma renders n with thousands separators.
+func comma(n uint64) string {
+	s := fmt.Sprint(n)
+	for i := len(s) - 3; i > 0; i -= 3 {
+		s = s[:i] + "," + s[i:]
+	}
+	return s
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

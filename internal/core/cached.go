@@ -6,6 +6,7 @@ import (
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lcache"
+	"neurolpm/internal/telemetry"
 )
 
 // This file is the engine-side half of the result-cache plane (DESIGN.md
@@ -28,13 +29,31 @@ func (e *Engine) LookupCached(k keys.Value, c *lcache.Cache) (action uint64, ok 
 		action, ok = e.Lookup(k)
 		return action, ok, lcache.None
 	}
+	// Flight sampling for the probe stage rides the cache's own plain tick
+	// (the hit path must stay free of extra atomics). A probe-stage record
+	// covers the whole cached query: on a hit it is probe-only; on a miss
+	// the engine time shows up as total − probe, while the engine's own
+	// independently-sampled records carry the stage split.
+	var fr *telemetry.FlightRecord
+	if telemetry.Flight.HitN(c.SampleTick()) {
+		var rec telemetry.FlightRecord
+		fr = &rec
+		fr.Begin(k.Hi, k.Lo)
+	}
 	epoch := e.epoch.Load()
 	action, ok, o = c.Get(k, epoch)
-	if o == lcache.Hit {
-		return action, ok, o
+	fr.Stamp(telemetry.StageProbe)
+	if o != lcache.Hit {
+		action, ok = e.Lookup(k)
+		c.Put(k, epoch, action, ok)
 	}
-	action, ok = e.Lookup(k)
-	c.Put(k, epoch, action, ok)
+	if fr != nil {
+		fr.Cache = uint8(o)
+		fr.Shard = e.shardID
+		fr.Action = action
+		fr.Matched = ok
+		telemetry.Flight.Commit(fr)
+	}
 	return action, ok, o
 }
 
@@ -105,13 +124,27 @@ func (u *Updatable) LookupCached(k keys.Value, c *lcache.Cache) (action uint64, 
 		action, ok = u.Lookup(k)
 		return action, ok, lcache.None
 	}
-	epoch := u.engine.Load().epoch.Load()
-	action, ok, o = c.Get(k, epoch)
-	if o == lcache.Hit {
-		return action, ok, o
+	eng := u.engine.Load()
+	var fr *telemetry.FlightRecord
+	if telemetry.Flight.HitN(c.SampleTick()) {
+		var rec telemetry.FlightRecord
+		fr = &rec
+		fr.Begin(k.Hi, k.Lo)
 	}
-	action, ok = u.Lookup(k)
-	c.Put(k, epoch, action, ok)
+	epoch := eng.epoch.Load()
+	action, ok, o = c.Get(k, epoch)
+	fr.Stamp(telemetry.StageProbe)
+	if o != lcache.Hit {
+		action, ok = u.Lookup(k)
+		c.Put(k, epoch, action, ok)
+	}
+	if fr != nil {
+		fr.Cache = uint8(o)
+		fr.Shard = eng.shardID
+		fr.Action = action
+		fr.Matched = ok
+		telemetry.Flight.Commit(fr)
+	}
 	return action, ok, o
 }
 

@@ -68,12 +68,22 @@ type Engine struct {
 	// Delete flips entries while lock-free readers consult them in resolve,
 	// so access is atomic; everything else in the engine is immutable after
 	// build or rewritten only through the atomic ranges.Array accessors.
-	live []atomic.Bool
+	live  []atomic.Bool
 	ra    *ranges.Array
 	dir   *bucket.Directory // nil in the SRAM-only design
 	model *rqrmi.Model
 	stats *rqrmi.Stats
 	trie  *lpm.Trie // lazily built on first Delete; indexes e.rules.Rules
+
+	// Observability-plane attachments (DESIGN.md §13): drift watches the
+	// observed secondary search against the compiled probe ceiling, hot
+	// sketches per-bucket access frequency, shardID tags flight records.
+	// Build creates both — a rebuilt engine gets fresh meters because a new
+	// model means a new bound and new bucket geometry — and only the sampled
+	// 1:sampleEvery branch ever feeds them.
+	shardID int32
+	drift   *telemetry.DriftMeter
+	hot     *telemetry.HotSketch
 
 	// The compiled query plane (DESIGN.md §10): comp mirrors model + index
 	// in flat devirtualized storage and serves every hot lookup; the model
@@ -143,7 +153,17 @@ func Build(rs *lpm.RuleSet, cfg Config) (*Engine, error) {
 	if err := e.compilePlane(ix); err != nil {
 		return nil, err
 	}
+	e.attachObservers(ix)
 	return e, nil
+}
+
+// attachObservers creates the engine's drift meter and hotness sketch from
+// the compiled plane (bound) and learned-index geometry (bucket count; for
+// SRAM-only engines the "buckets" are the ranges themselves).
+func (e *Engine) attachObservers(ix rqrmi.Index) {
+	e.drift = telemetry.NewDriftMeter()
+	e.drift.SetBound(e.comp.MaxErr())
+	e.hot = telemetry.NewHotSketch(ix.Len())
 }
 
 // compilePlane flattens the trained model and index into the compiled query
@@ -213,6 +233,7 @@ func BuildWithModel(rs *lpm.RuleSet, cfg Config, m *rqrmi.Model, verify bool) (*
 	if err := e.compilePlane(ix); err != nil {
 		return nil, err
 	}
+	e.attachObservers(ix)
 	return e, nil
 }
 
@@ -227,6 +248,17 @@ func (e *Engine) Compiled() *rqrmi.Compiled { return e.comp }
 
 // TrainStats returns statistics from the build's training phase.
 func (e *Engine) TrainStats() *rqrmi.Stats { return e.stats }
+
+// DriftMeter exposes the engine's model-drift meter (observed secondary
+// search vs the compiled probe ceiling).
+func (e *Engine) DriftMeter() *telemetry.DriftMeter { return e.drift }
+
+// HotSketch exposes the engine's decaying bucket-hotness sketch.
+func (e *Engine) HotSketch() *telemetry.HotSketch { return e.hot }
+
+// SetShardID tags the engine's flight records with its shard index (the
+// sharded router calls this at build; rebuilds inherit it via InsertBatch).
+func (e *Engine) SetShardID(id int) { e.shardID = int32(id) }
 
 // Ranges exposes the underlying range array (read-only use).
 func (e *Engine) Ranges() *ranges.Array { return e.ra }
@@ -291,13 +323,24 @@ func (e *Engine) LookupSpan(k keys.Value, mem cachesim.Mem) (Trace, *telemetry.S
 // and LookupSpan: one compiled-plane inference, one bounded secondary
 // search, and (for bucketized engines) exactly one DRAM bucket fetch.
 // Telemetry counters are always updated; stage timings are recorded only
-// when sp is non-nil.
+// when sp is non-nil or the query drew a flight-recorder sample.
 func (e *Engine) lookup(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trace {
 	var tr Trace
+	// One counter tick serves three masters: the exact lookups_total count,
+	// the 1:sampleEvery distribution sampling in finish, and the
+	// flight-recorder sampling decision — no second atomic on the hot path.
+	n := metLookups.Inc()
+	var fr *telemetry.FlightRecord
+	if telemetry.Flight.HitN(n) {
+		var rec telemetry.FlightRecord // stack-allocated; Commit copies it out
+		fr = &rec
+		fr.Begin(k.Hi, k.Lo)
+	}
 	end := sp.Stage("inference")
 	tr.Prediction = e.comp.Predict(k)
 	end()
-	e.finish(k, &tr, mem, sp, false)
+	fr.Stamp(telemetry.StageInference)
+	e.finish(k, &tr, mem, sp, false, n, fr)
 	return tr
 }
 
@@ -327,8 +370,10 @@ func (e *Engine) bucketScan(b int, k keys.Value) (idx, comparisons int) {
 // the compiled batch path, and the reference path (reference=true routes the
 // search through the Model/Index arithmetic instead of the compiled plane;
 // the results are bit-identical, per Verify, only the cost differs).
-// tr.Prediction must already be populated.
-func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry.Span, reference bool) {
+// tr.Prediction must already be populated; n is the caller's lookup-counter
+// tick (metLookups.Inc()) and fr the in-flight sample, nil for the other
+// 63-in-64 queries.
+func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry.Span, reference bool, n uint64, fr *telemetry.FlightRecord) {
 	end := sp.Stage("secondary-search")
 	var b int
 	if reference {
@@ -341,6 +386,7 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 		b, tr.SRAMProbes = e.comp.Search(k, tr.Prediction)
 	}
 	end()
+	fr.Stamp(telemetry.StageSearch)
 	var cmp int
 	if e.dir == nil {
 		tr.RangeIndex = b
@@ -356,23 +402,38 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 			tr.RangeIndex, cmp = e.dir.Search(b, k)
 		}
 		end()
+		fr.Stamp(telemetry.StageFetch)
 		metBucketized.Inc()
 	}
 	tr.Action, tr.Matched = e.resolve(tr.RangeIndex)
-	n := metLookups.Inc()
 	if tr.Matched {
 		metMatched.Inc()
 	}
 	// The per-query distributions are sampled 1:sampleEvery; an uncontended
 	// atomic RMW costs ~5ns on the reference machine, so observing three
 	// histograms on every query would alone blow the ≤2% overhead budget.
-	// Counters above stay exact — only distribution shape is sampled.
+	// Counters above stay exact — only distribution shape is sampled. The
+	// drift meter and hotness sketch ride the same sampled branch, so their
+	// marginal hot-path cost is a fraction of a nanosecond per lookup.
 	if n&(sampleEvery-1) == 0 {
 		metProbes.ObserveInt(tr.SRAMProbes)
 		metInferErr.ObserveInt(tr.Prediction.Err)
 		if tr.BucketRead {
 			metBucketCmp.ObserveInt(cmp)
 		}
+		if e.drift != nil {
+			e.drift.Observe(tr.SRAMProbes)
+			e.hot.Touch(uint32(b))
+		}
+	}
+	if fr != nil {
+		fr.Probes = int32(tr.SRAMProbes)
+		fr.ErrBound = int32(tr.Prediction.Err)
+		fr.Shard = e.shardID
+		fr.Action = tr.Action
+		fr.Matched = tr.Matched
+		fr.BucketRead = tr.BucketRead
+		telemetry.Flight.Commit(fr)
 	}
 }
 
@@ -383,8 +444,11 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 // and the E23 reference-vs-compiled experiment.
 func (e *Engine) LookupReference(k keys.Value) (action uint64, ok bool) {
 	var tr Trace
+	n := metLookups.Inc()
 	tr.Prediction = e.model.Predict(k)
-	e.finish(k, &tr, cachesim.Null{}, nil, true)
+	// The reference path is for differential tests and E23 — it never feeds
+	// the flight recorder, whose records describe the production plane.
+	e.finish(k, &tr, cachesim.Null{}, nil, true, n, nil)
 	return tr.Action, tr.Matched
 }
 
@@ -437,7 +501,17 @@ func (e *Engine) finishBatch(ks []keys.Value, mem cachesim.Mem, emit func(i int,
 		for i := 0; i < n; i++ {
 			var tr Trace
 			tr.Prediction = preds[i]
-			e.finish(blk[i], &tr, mem, nil, false)
+			nq := metLookups.Inc()
+			var fr *telemetry.FlightRecord
+			if telemetry.Flight.HitN(nq) {
+				var rec telemetry.FlightRecord
+				fr = &rec
+				fr.Begin(blk[i].Hi, blk[i].Lo)
+				// Inference was pipelined across the block, so a batch
+				// record times only the per-key tail (search onward).
+				fr.Batch = true
+			}
+			e.finish(blk[i], &tr, mem, nil, false, nq, fr)
 			emit(start+i, BatchResult{Action: tr.Action, Matched: tr.Matched})
 		}
 	}
@@ -533,8 +607,10 @@ func (e *Engine) InsertBatch(newRules []lpm.Rule) (*Engine, error) {
 	}
 	// The rebuilt engine continues the receiver's cache-epoch lineage (no
 	// bump here — the engine is not live yet; Updatable.Commit bumps after
-	// the atomic swap makes it visible).
+	// the atomic swap makes it visible) and keeps its shard tag; drift meter
+	// and hotness sketch start fresh from Build, matching the new model.
 	next.epoch = e.epoch
+	next.shardID = e.shardID
 	return next, nil
 }
 

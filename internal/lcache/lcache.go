@@ -137,6 +137,20 @@ type Cache struct {
 	winProbes  uint32
 	winHits    uint32
 	bypassLeft int
+
+	// tick numbers this cache's lookups for flight-recorder sampling
+	// (single-owner, so a plain increment — the cached hit path stays free
+	// of atomics).
+	tick uint64
+}
+
+// SampleTick returns this cache's next lookup ordinal — the sampling tick
+// the cached query paths feed telemetry.Flight.HitN, mirroring how the
+// uncached paths reuse the lookup counter's value. Single-owner like every
+// other Cache method.
+func (c *Cache) SampleTick() uint64 {
+	c.tick++
+	return c.tick
 }
 
 // New builds a cache of at most bytes of table (rounded down to a power-of-

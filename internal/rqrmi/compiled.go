@@ -59,7 +59,7 @@ const (
 
 	// Block layout inside the interleaved bank (float32 offsets).
 	offKnots = 0
-	offA     = padKnots          // 8
+	offA     = padKnots           // 8
 	offB     = padKnots + padSegs // 17
 
 	// blockStride rounds the 26 used words up to a power of two so block
@@ -161,6 +161,21 @@ func (c *Compiled) SizeBytes() int {
 		return coeff + 8*len(c.lows64)
 	}
 	return coeff + 16*len(c.lows)
+}
+
+// MaxErr returns the largest final-stage error bound — the compiled plane's
+// static worst case, from which the secondary-search probe ceiling derives
+// (telemetry.ProbeBound). Matches Model.MaxErr for the source model.
+func (c *Compiled) MaxErr() int {
+	last := len(c.stageWidth) - 1
+	base := int(c.stageBase[last])
+	maxE := 0
+	for i := 0; i < int(c.stageWidth[last]); i++ {
+		if e := int(c.errs[base+i]); e > maxE {
+			maxE = e
+		}
+	}
+	return maxE
 }
 
 // unit maps k to the model's float32 input coordinate — the same arithmetic

@@ -47,6 +47,10 @@ type Server struct {
 	// returns it — no locks on the probe path. In sharded mode the plane
 	// lives inside the shard router (EnableCache) and this stays nil.
 	rcache *lcache.Pool
+
+	// info accumulates the neurolpm_build_info labels (mode, shards,
+	// cache-bytes, ...); guarded by mu.
+	info map[string]string
 }
 
 // New wraps an engine. reg is the registry /metrics renders; pass
@@ -56,6 +60,9 @@ func New(eng *core.Engine, reg *telemetry.Registry) *Server {
 	s.plain.Stats() // initialize the tally before concurrent use
 	s.plain.Register(reg, "neurolpm_serve_dram")
 	telemetry.PublishExpvar()
+	telemetry.StartRotor()
+	s.SetInfo("mode", "single")
+	s.registerSingleObserverGauges()
 	return s
 }
 
@@ -68,7 +75,42 @@ func NewSharded(sh *shard.ShardedUpdatable, reg *telemetry.Registry) *Server {
 	s.plain.Stats()
 	s.plain.Register(reg, "neurolpm_serve_dram")
 	telemetry.PublishExpvar()
+	telemetry.StartRotor()
+	s.SetInfo("mode", "sharded")
+	s.SetInfo("shards", strconv.Itoa(sh.Shards()))
 	return s
+}
+
+// SetInfo adds (or replaces) one neurolpm_build_info label and republishes
+// the metric. The constructors seed mode/shards; cmd/lpmserve adds its
+// configuration (rules, cache-bytes, flight-sample).
+func (s *Server) SetInfo(key, value string) {
+	s.mu.Lock()
+	if s.info == nil {
+		s.info = make(map[string]string)
+	}
+	s.info[key] = value
+	cp := make(map[string]string, len(s.info))
+	for k, v := range s.info {
+		cp[k] = v
+	}
+	s.mu.Unlock()
+	telemetry.SetBuildInfo(cp)
+}
+
+// registerSingleObserverGauges publishes the per-shard observability gauges
+// for single-engine mode under shard label "0" (the sharded builders
+// register the real per-shard families; the names and label must match).
+func (s *Server) registerSingleObserverGauges() {
+	s.reg.GaugeVec("neurolpm_model_drift",
+		"Observed p99 secondary-search probes over the last minute divided by the compiled probe ceiling (→1 = bound headroom consumed; retrain signal)", "shard").
+		Set("0", func() float64 { return s.eng.DriftMeter().Drift() })
+	s.reg.GaugeVec("neurolpm_model_probe_bound",
+		"Compiled worst-case secondary-search probes for the shard's live model", "shard").
+		Set("0", func() float64 { return float64(s.eng.DriftMeter().Bound()) })
+	s.reg.GaugeVec("neurolpm_bucket_hotness_skew",
+		"Fraction of sampled bucket accesses landing in the hottest 10% of buckets (decaying window)", "shard").
+		Set("0", func() float64 { return s.eng.HotSketch().Skew() })
 }
 
 // width returns the served key bit width in either mode.
@@ -94,6 +136,7 @@ func (s *Server) UseResultCache(bytes int) {
 	if bytes <= 0 {
 		return
 	}
+	defer s.SetInfo("cache_bytes", strconv.Itoa(bytes))
 	if s.sh != nil {
 		s.sh.EnableCache(bytes)
 		return
@@ -147,8 +190,9 @@ func (s *Server) lookup(k keys.Value, traced bool) (core.Trace, *telemetry.Span)
 	return s.eng.LookupMem(k, s.plain), nil
 }
 
-// Handler returns the full mux: /lookup, /batch, /trace, /metrics,
-// /healthz, /debug/vars and /debug/pprof/*.
+// Handler returns the full mux: /lookup, /batch, /trace, /metrics, /slo,
+// /healthz, /debug/vars, /debug/flightrec, /debug/slow, /debug/hotness and
+// /debug/pprof/*.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", s.handleLookup)
@@ -156,15 +200,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/debug/hotness", s.handleHotness)
 	mountMetrics(mux, s.reg)
 	return mux
 }
 
-// MetricsHandler returns the observability-only mux (/metrics, /debug/vars,
-// /debug/pprof/*) for tools that serve no queries, like lpmbench -metrics.
+// MetricsHandler returns the observability-only mux (/metrics, /slo,
+// /debug/vars, /debug/flightrec, /debug/slow, /debug/pprof/*) for tools that
+// serve no queries, like lpmbench -metrics. /slo carries the windows but no
+// per-shard section (no engine is attached).
 func MetricsHandler(reg *telemetry.Registry) http.Handler {
 	telemetry.PublishExpvar()
 	mux := http.NewServeMux()
+	mux.HandleFunc("/slo", handleSLOBare)
 	mountMetrics(mux, reg)
 	return mux
 }
@@ -175,6 +224,8 @@ func mountMetrics(mux *http.ServeMux, reg *telemetry.Registry) {
 		reg.WritePrometheus(w)
 		writeRuntimeMetrics(w)
 	})
+	mux.HandleFunc("/debug/flightrec", handleFlightRec)
+	mux.HandleFunc("/debug/slow", handleSlow)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

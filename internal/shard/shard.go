@@ -24,6 +24,7 @@ package shard
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"neurolpm/internal/core"
@@ -75,6 +76,7 @@ func Build(rs *lpm.RuleSet, cfg core.Config, nShards int) (*Sharded, error) {
 	}
 	s := &Sharded{router: r, engines: engines}
 	s.registerGauges(func(i int) int { return engines[i].Ranges().Len() })
+	s.registerObserverGauges(func(i int) *core.Engine { return s.engines[i] })
 	return s, nil
 }
 
@@ -168,6 +170,9 @@ func buildEngines(width int, cfg core.Config, parts [][]lpm.Rule) ([]*core.Engin
 				return
 			}
 			engines[i], errs[i] = core.Build(srs, cfg)
+			if engines[i] != nil {
+				engines[i].SetShardID(i)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -381,7 +386,7 @@ func (r *router) close() {
 // built sharded engine (the registry's last-writer-wins gauge semantics are
 // exactly the rebuilt-engine refresh case).
 func (r *router) registerGauges(rangesOf func(i int) int) {
-	telemetry.Default.Gauge("neurolpm_shard_count",
+	telemetry.Default.Gauge("neurolpm_shards",
 		"Shards in the current sharded engine",
 		func() float64 { return float64(r.Shards()) })
 	telemetry.Default.Gauge("neurolpm_shard_load_imbalance",
@@ -396,6 +401,27 @@ func (r *router) registerGauges(rangesOf func(i int) int) {
 			}
 			return imbalance(sizes)
 		})
+}
+
+// registerObserverGauges publishes the per-shard observability-plane gauges
+// (DESIGN.md §13): model drift, the compiled probe ceiling and bucket-hotness
+// skew. engineAt reads the shard's *current* live engine, so an updatable
+// shard's post-commit engine — with its fresh bound and sketch — is what a
+// scrape sees, without any re-registration on commit.
+func (r *router) registerObserverGauges(engineAt func(i int) *core.Engine) {
+	drift := telemetry.Default.GaugeVec("neurolpm_model_drift",
+		"Observed p99 secondary-search probes over the last minute divided by the compiled probe ceiling (→1 = bound headroom consumed; retrain signal)", "shard")
+	bound := telemetry.Default.GaugeVec("neurolpm_model_probe_bound",
+		"Compiled worst-case secondary-search probes for the shard's live model", "shard")
+	skew := telemetry.Default.GaugeVec("neurolpm_bucket_hotness_skew",
+		"Fraction of sampled bucket accesses landing in the hottest 10% of buckets (decaying window)", "shard")
+	for i := 0; i < r.Shards(); i++ {
+		i := i
+		lbl := strconv.Itoa(i)
+		drift.Set(lbl, func() float64 { return engineAt(i).DriftMeter().Drift() })
+		bound.Set(lbl, func() float64 { return float64(engineAt(i).DriftMeter().Bound()) })
+		skew.Set(lbl, func() float64 { return engineAt(i).HotSketch().Skew() })
+	}
 }
 
 // loadCounts snapshots the per-shard lookup tallies.

@@ -78,6 +78,7 @@ func BuildUpdatable(rs *lpm.RuleSet, cfg core.Config, nShards, capacity int) (*S
 	}
 	u.registerGauges(func(i int) int { return u.shards[i].Engine().Ranges().Len() })
 	u.registerHealthGauges()
+	u.registerObserverGauges(u.Engine)
 	return u, nil
 }
 

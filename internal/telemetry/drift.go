@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// DriftMeter watches one engine's secondary search against its compiled
+// error bound — the §7 one-fetch-per-query invariant's early-warning
+// companion. The compiled plane guarantees the search never exceeds
+// ProbeBound(maxErr) probes; the meter records the observed (sampled)
+// probe distribution in a sliding window and reports how close its tail
+// sits to that ceiling. A drift near 1.0 means real traffic is exercising
+// the worst case the bound allows — the signal to retrain or re-shard
+// before a model update widens the bound further.
+//
+// Probe counts are small bounded integers, so the meter stores them
+// exactly: Observe records probe count p as the value 2^p, which lands in
+// log₂ bucket p+1 — every distinct probe count owns its own bucket, turning
+// the shared windowed-histogram machinery into an exact linear histogram.
+// (The snapshot's Sum is meaningless under this encoding; only Counts are
+// read.)
+type DriftMeter struct {
+	bound atomic.Int32 // ProbeBound(maxErr) of the live compiled model
+	win   *Windowed    // exact probe counts, sampled 1-in-sampleEvery
+}
+
+// ProbeBound converts a compiled maximum prediction error into the
+// worst-case secondary-search probe count: locating the entry inside a
+// ±maxErr slice (2·maxErr+1 candidates) by the canonical bounded binary
+// search costs ⌈log₂(2·maxErr+1)⌉ probes, plus a constant for the boundary
+// checks. This is the same ceiling the engine tests assert
+// (core.TestLookupTrace*: probes ≤ 2 + bitsFor(2·maxErr+1)).
+func ProbeBound(maxErr int) int {
+	if maxErr < 0 {
+		maxErr = 0
+	}
+	// ceil(log₂(m)) == bits.Len(m−1); m = 2·maxErr+1 ⇒ m−1 = 2·maxErr.
+	return 3 + bits.Len(uint(2*maxErr))
+}
+
+// driftWindow is the sliding window the drift gauge evaluates over.
+const driftWindow = 60 * time.Second
+
+// maxProbeSlot caps the exact encoding: probe counts above it clamp to the
+// top slot. Bounds are ≤ 3+65 for any representable error, so the cap only
+// guards the shift.
+const maxProbeSlot = 63
+
+// NewDriftMeter returns a meter with no bound set (Drift reports 0 until
+// SetBound is called with the live model's error).
+func NewDriftMeter() *DriftMeter {
+	return &DriftMeter{win: NewWindowedLazy(NewHistogram(), time.Second, 2*driftWindow)}
+}
+
+// SetBound installs the compiled model's maximum error (called at build and
+// after every commit that swaps the model).
+func (d *DriftMeter) SetBound(maxErr int) { d.bound.Store(int32(ProbeBound(maxErr))) }
+
+// Bound returns the current probe ceiling (0 when unset).
+func (d *DriftMeter) Bound() int { return int(d.bound.Load()) }
+
+// Observe records one sampled query's secondary-search probe count.
+func (d *DriftMeter) Observe(probes int) {
+	if probes < 0 {
+		probes = 0
+	}
+	if probes > maxProbeSlot {
+		probes = maxProbeSlot
+	}
+	d.win.Observe(uint64(1) << uint(probes))
+}
+
+// probeQuantile decodes the 2^p encoding: the exact q-quantile of the
+// recorded probe counts (bucket b holds probe count b−1).
+func probeQuantile(s Snapshot, q float64) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	rank := q * float64(s.Total)
+	var cum float64
+	for b := 1; b < numBuckets; b++ {
+		cum += float64(s.Counts[b])
+		if cum >= rank {
+			return float64(b - 1)
+		}
+	}
+	return 0
+}
+
+// window returns the last-minute probe snapshot, falling back to the
+// cumulative distribution while the window is empty.
+func (d *DriftMeter) window() Snapshot {
+	s, _ := d.win.Window(driftWindow)
+	if s.Total == 0 {
+		s, _ = d.win.Window(0)
+	}
+	return s
+}
+
+// Drift returns observed-p99-probes / probe-bound over the last minute.
+// 0 means no bound or no traffic; the engine's invariant keeps the ratio
+// ≤ 1, and values near 1 mean the observed tail has consumed the bound's
+// headroom — real traffic is concentrating on the model's worst submodels.
+// Alert on sustained drift above ~0.75.
+func (d *DriftMeter) Drift() float64 {
+	b := d.bound.Load()
+	if b <= 0 {
+		return 0
+	}
+	s := d.window()
+	if s.Total == 0 {
+		return 0
+	}
+	return probeQuantile(s, 0.99) / float64(b)
+}
+
+// ProbeP99 returns the exact windowed 99th-percentile probe count.
+func (d *DriftMeter) ProbeP99() float64 { return probeQuantile(d.window(), 0.99) }

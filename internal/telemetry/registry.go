@@ -16,17 +16,36 @@ const (
 	kindHistogram
 	kindGauge
 	kindGaugeVec
+	kindInfo
 )
+
+// String names the kind for Entries (and the metrics-name lint).
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	case kindGauge:
+		return "gauge"
+	case kindGaugeVec:
+		return "gaugevec"
+	case kindInfo:
+		return "info"
+	}
+	return "unknown"
+}
 
 // entry is one named metric.
 type entry struct {
-	name string
-	help string
-	kind metricKind
-	ctr  *Counter
-	hist *Histogram
-	fn   func() float64
-	vec  *GaugeVec
+	name   string
+	help   string
+	kind   metricKind
+	ctr    *Counter
+	hist   *Histogram
+	fn     func() float64
+	vec    *GaugeVec
+	labels [][2]string // kindInfo: sorted constant label pairs
 }
 
 // Registry is a named collection of metrics. Metric constructors are
@@ -157,6 +176,46 @@ func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
 	return v
 }
 
+// Info registers a constant-labels info metric (value always 1) in the
+// Prometheus `*_info` idiom — build/configuration facts carried as labels.
+// Re-registering replaces the label set (last writer wins), mirroring
+// Gauge's refresh semantics.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	pairs := make([][2]string, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, [2]string{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindInfo {
+			panic("telemetry: " + name + " already registered with a different kind")
+		}
+		e.labels = pairs
+		return
+	}
+	r.add(&entry{name: name, help: help, kind: kindInfo, labels: pairs})
+}
+
+// MetricInfo describes one registered metric — the registry's reflection
+// surface, consumed by the metrics-name lint test and documentation tools.
+type MetricInfo struct {
+	Name string
+	Help string
+	Kind string
+}
+
+// Entries lists every registered metric, name-sorted.
+func (r *Registry) Entries() []MetricInfo {
+	es := r.snapshotEntries()
+	out := make([]MetricInfo, 0, len(es))
+	for _, e := range es {
+		out = append(out, MetricInfo{Name: e.name, Help: e.help, Kind: e.kind.String()})
+	}
+	return out
+}
+
 // AttachCounter registers an existing standalone counter under name (used
 // by cachesim to expose a per-instance cache through the shared registry).
 func (r *Registry) AttachCounter(name, help string, c *Counter) {
@@ -206,6 +265,15 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			for i, lv := range vals {
 				fmt.Fprintf(w, "%s{%s=%q} %g\n", e.name, e.vec.label, lv, readings[i])
 			}
+		case kindInfo:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{", e.name, e.help, e.name, e.name)
+			for i, p := range e.labels {
+				if i > 0 {
+					fmt.Fprint(w, ",")
+				}
+				fmt.Fprintf(w, "%s=%q", p[0], p[1])
+			}
+			fmt.Fprint(w, "} 1\n")
 		case kindHistogram:
 			s := e.hist.Snapshot()
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", e.name, e.help, e.name)
@@ -240,6 +308,15 @@ func (r *Registry) Snapshot() map[string]float64 {
 			for i, lv := range vals {
 				out[fmt.Sprintf("%s{%s=%q}", e.name, e.vec.label, lv)] = readings[i]
 			}
+		case kindInfo:
+			var lb []byte
+			for i, p := range e.labels {
+				if i > 0 {
+					lb = append(lb, ',')
+				}
+				lb = append(lb, fmt.Sprintf("%s=%q", p[0], p[1])...)
+			}
+			out[fmt.Sprintf("%s{%s}", e.name, lb)] = 1
 		case kindHistogram:
 			s := e.hist.Snapshot()
 			out[e.name+"_count"] = float64(s.Total)

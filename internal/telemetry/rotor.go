@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// The rotor is the one background clock of the observability plane: a single
+// goroutine (started at most once, by the serving layer) that ticks every
+// rotatable — windowed-histogram rings, decaying hotness sketches — once per
+// second. Everything the rotor does is also done lazily on the read path, so
+// processes that never start it (tests, lpmbench) still get correct windows;
+// the rotor only keeps windows fresh between reads in a long-running daemon.
+
+// rotatable is anything that advances on a clock tick.
+type rotatable interface {
+	Tick(now time.Time)
+}
+
+var (
+	rotMu   sync.Mutex
+	rotList []rotatable
+
+	rotorOnce sync.Once
+)
+
+// registerRotatable adds r to the rotor's tick list. Rotatables live for the
+// process lifetime (they back registered metrics), so there is no unregister.
+func registerRotatable(r rotatable) {
+	rotMu.Lock()
+	rotList = append(rotList, r)
+	rotMu.Unlock()
+}
+
+// RotorTick advances every registered rotatable to now — the rotor body,
+// exported so tests and experiments can drive time explicitly.
+func RotorTick(now time.Time) {
+	rotMu.Lock()
+	list := append([]rotatable(nil), rotList...)
+	rotMu.Unlock()
+	for _, r := range list {
+		r.Tick(now)
+	}
+}
+
+// StartRotor launches the background ticker (idempotent; the goroutine runs
+// for the process lifetime). The serving layer calls it; short-lived tools
+// rely on lazy read-side rotation instead.
+func StartRotor() {
+	rotorOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for now := range t.C {
+				RotorTick(now)
+			}
+		}()
+	})
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HotSketch is a compact decaying sketch of per-bucket access frequency —
+// the input signal for CRAM-Lens-style tiered placement (ROADMAP: hot
+// buckets in SRAM/HBM, cold in DRAM/flash). One uint32 slot per bucket up
+// to maxHotSlots; beyond that buckets alias into slots by masking, which
+// over-counts (never under-counts) hotness — the safe direction for a
+// placement signal.
+//
+// Touch rides the engine's existing 1-in-sampleEvery sampled branch, so its
+// two uncontended atomics amortize to well under a nanosecond per lookup.
+// Counts decay by halving every decayPeriod, giving an exponential moving
+// window of roughly 2·decayPeriod. Decay is applied lazily on the read side
+// (every Top/Skew/Total call decays first) — sketches belong to rebuildable
+// engines, so they are not rotor-registered; Tick exists for callers that
+// want to drive decay explicitly.
+type HotSketch struct {
+	mask    uint32
+	aliased bool // more buckets than slots: slots are aliased classes
+	slots   []atomic.Uint32
+
+	mu   sync.Mutex
+	last time.Time
+	now  func() time.Time
+}
+
+// maxHotSlots caps sketch memory at 256 KiB per shard (65536 × 4 B).
+const maxHotSlots = 1 << 16
+
+// hotCeiling saturates a slot so decay always has headroom and a single
+// scorching bucket cannot wrap uint32.
+const hotCeiling = 1 << 30
+
+// decayPeriod is how often counts halve.
+const decayPeriod = 10 * time.Second
+
+// NewHotSketch sizes a sketch for nbuckets buckets.
+func NewHotSketch(nbuckets int) *HotSketch {
+	n := 1
+	for n < nbuckets && n < maxHotSlots {
+		n <<= 1
+	}
+	s := &HotSketch{
+		mask:    uint32(n - 1),
+		aliased: nbuckets > n,
+		slots:   make([]atomic.Uint32, n),
+		now:     time.Now,
+	}
+	s.last = s.now()
+	return s
+}
+
+// Touch records one access to bucket b. Racy saturation check is fine: the
+// sketch is an estimate and the ceiling only guards overflow.
+func (s *HotSketch) Touch(b uint32) {
+	slot := &s.slots[b&s.mask]
+	if slot.Load() < hotCeiling {
+		slot.Add(1)
+	}
+}
+
+// Tick decays if a period has elapsed (the rotor entry point).
+func (s *HotSketch) Tick(now time.Time) { s.decayTo(now) }
+
+// decayTo applies elapsed/decayPeriod halvings. The Load/Store pair races
+// with Touch and may drop a concurrent increment — an accepted error source
+// in an approximate sketch.
+func (s *HotSketch) decayTo(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := int(now.Sub(s.last) / decayPeriod)
+	if k <= 0 {
+		return
+	}
+	s.last = s.last.Add(time.Duration(k) * decayPeriod)
+	if k > 31 {
+		k = 31
+	}
+	for i := range s.slots {
+		if v := s.slots[i].Load(); v != 0 {
+			s.slots[i].Store(v >> uint(k))
+		}
+	}
+}
+
+// Aliased reports whether multiple buckets share slots.
+func (s *HotSketch) Aliased() bool { return s.aliased }
+
+// Slots returns the slot count.
+func (s *HotSketch) Slots() int { return len(s.slots) }
+
+// HotBucket is one entry of a Top listing. Slot equals the bucket index
+// unless the sketch is aliased.
+type HotBucket struct {
+	Slot  uint32 `json:"slot"`
+	Count uint32 `json:"count"`
+}
+
+// Top returns the k hottest slots (count-descending), after decay.
+func (s *HotSketch) Top(k int) []HotBucket {
+	s.decayTo(s.now())
+	if k <= 0 {
+		return nil
+	}
+	all := make([]HotBucket, 0, len(s.slots))
+	for i := range s.slots {
+		if c := s.slots[i].Load(); c != 0 {
+			all = append(all, HotBucket{Slot: uint32(i), Count: c})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Count != all[b].Count {
+			return all[a].Count > all[b].Count
+		}
+		return all[a].Slot < all[b].Slot
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// Skew returns the fraction of (decayed) accesses held by the hottest 10%
+// of slots — 0 on an idle sketch, approaching 1 under a Zipfian skew. This
+// is the per-shard placement-pressure gauge: high skew means a small hot
+// set that tiered memory can exploit.
+func (s *HotSketch) Skew() float64 {
+	s.decayTo(s.now())
+	counts := make([]uint32, len(s.slots))
+	var total uint64
+	for i := range s.slots {
+		counts[i] = s.slots[i].Load()
+		total += uint64(counts[i])
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(counts, func(a, b int) bool { return counts[a] > counts[b] })
+	top := len(counts) / 10
+	if top < 1 {
+		top = 1
+	}
+	var hot uint64
+	for _, c := range counts[:top] {
+		hot += uint64(c)
+	}
+	return float64(hot) / float64(total)
+}
+
+// Total returns the decayed access mass in the sketch.
+func (s *HotSketch) Total() uint64 {
+	s.decayTo(s.now())
+	var total uint64
+	for i := range s.slots {
+		total += uint64(s.slots[i].Load())
+	}
+	return total
+}

@@ -22,9 +22,10 @@ type SpanStage struct {
 	DurNs int64  `json:"duration_ns"`
 }
 
-// StartSpan begins a span.
+// StartSpan begins a span. Attrs is allocated lazily by Set, so spans that
+// never attach attributes cost one allocation, not two.
 func StartSpan(name string) *Span {
-	return &Span{Name: name, Start: time.Now(), Attrs: make(map[string]any)}
+	return &Span{Name: name, Start: time.Now()}
 }
 
 // Stage starts a timed phase and returns the function that ends it.
@@ -45,6 +46,9 @@ var nopStage = func() {}
 func (s *Span) Set(key string, v any) {
 	if s == nil {
 		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any, 4)
 	}
 	s.Attrs[key] = v
 }

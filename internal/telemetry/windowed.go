@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Windowed turns a cumulative Histogram into a sliding-window view: "what is
+// p99 over the last 10 seconds", not "since boot". The hot path is untouched
+// — writers keep observing into the underlying lock-free Histogram — and the
+// window machinery lives entirely on the read side: a ring of timestamped
+// cumulative snapshots is rotated once per slice, and a window query returns
+// the delta between the live snapshot and the ring entry just older than the
+// window, so the answer covers at least the requested span (never less, up
+// to one slice more).
+//
+// Rotation is lazy — every read rotates first — so a Windowed is correct
+// with no background goroutine; the serve daemon additionally drives
+// rotation from the rotor (rotor.go) so windows stay fresh between scrapes
+// and a window query never has to bridge a long scrape gap with one stale
+// snapshot.
+type Windowed struct {
+	h     *Histogram
+	slice time.Duration
+
+	mu    sync.Mutex
+	snaps []winSnap // ring of cumulative snapshots, oldest → newest
+	head  int       // next write position
+	count int       // live entries in the ring
+	last  time.Time // time of the newest ring snapshot
+	now   func() time.Time
+}
+
+// winSnap is one ring entry: the cumulative state at a rotation instant.
+type winSnap struct {
+	at time.Time
+	s  Snapshot
+}
+
+// NewWindowed wraps h with a sliding window and registers it with the rotor
+// (use for process-lifetime windows only — rotor registrations are never
+// removed). slice is the rotation period and retain the maximum window
+// answerable (rounded up to whole slices); slice ≤ 0 selects 1s, retain ≤
+// slice selects 64 slices.
+func NewWindowed(h *Histogram, slice, retain time.Duration) *Windowed {
+	w := NewWindowedLazy(h, slice, retain)
+	registerRotatable(w)
+	return w
+}
+
+// NewWindowedLazy is NewWindowed without rotor registration: rotation
+// happens only on the read side (every Window call rotates first), which is
+// exactly right for windows owned by rebuildable objects — per-engine drift
+// meters — whose lifetime is shorter than the process.
+func NewWindowedLazy(h *Histogram, slice, retain time.Duration) *Windowed {
+	if slice <= 0 {
+		slice = time.Second
+	}
+	n := 64
+	if retain > slice {
+		n = int(retain/slice) + 2
+	}
+	return &Windowed{h: h, slice: slice, snaps: make([]winSnap, n), now: time.Now}
+}
+
+// Hist returns the underlying cumulative histogram (the write side).
+func (w *Windowed) Hist() *Histogram { return w.h }
+
+// Observe forwards to the underlying histogram (lock-free; the window
+// machinery never runs on the write path).
+func (w *Windowed) Observe(v uint64) { w.h.Observe(v) }
+
+// ObserveInt forwards to the underlying histogram.
+func (w *Windowed) ObserveInt(v int) { w.h.ObserveInt(v) }
+
+// Tick rotates if a slice has elapsed (the rotor entry point).
+func (w *Windowed) Tick(now time.Time) {
+	w.mu.Lock()
+	w.rotateLocked(now)
+	w.mu.Unlock()
+}
+
+// rotateLocked appends a cumulative snapshot when the newest ring entry is
+// at least one slice old. One snapshot suffices however long the gap was:
+// the ring stores cumulative state, so missing intermediate slices only
+// coarsens which window spans are answerable, never the counts.
+func (w *Windowed) rotateLocked(now time.Time) {
+	if w.count > 0 && now.Sub(w.last) < w.slice {
+		return
+	}
+	w.snaps[w.head] = winSnap{at: now, s: w.h.Snapshot()}
+	w.head = (w.head + 1) % len(w.snaps)
+	if w.count < len(w.snaps) {
+		w.count++
+	}
+	w.last = now
+}
+
+// Window returns the observation delta covering at least d (the span ends
+// now and starts at the newest ring snapshot ≥ d old). span reports how much
+// time the delta actually covers; when the process is younger than d — or
+// rotation has not been driven for that long — span is the age of the oldest
+// available snapshot. d ≤ 0 returns the cumulative since-boot snapshot with
+// span 0.
+func (w *Windowed) Window(d time.Duration) (s Snapshot, span time.Duration) {
+	cur := w.h.Snapshot()
+	if d <= 0 {
+		return cur, 0
+	}
+	now := w.now()
+	w.mu.Lock()
+	w.rotateLocked(now)
+	base, at, ok := w.baseLocked(now, d)
+	w.mu.Unlock()
+	if !ok {
+		return cur, 0
+	}
+	return cur.Sub(base), now.Sub(at)
+}
+
+// baseLocked finds the newest ring snapshot at least d old, falling back to
+// the oldest available.
+func (w *Windowed) baseLocked(now time.Time, d time.Duration) (Snapshot, time.Time, bool) {
+	if w.count == 0 {
+		return Snapshot{}, time.Time{}, false
+	}
+	// Walk newest → oldest; entries are in ring order ending at head-1.
+	oldest := (w.head - w.count + len(w.snaps)) % len(w.snaps)
+	for i := 1; i <= w.count; i++ {
+		idx := (w.head - i + len(w.snaps)) % len(w.snaps)
+		if now.Sub(w.snaps[idx].at) >= d {
+			return w.snaps[idx].s, w.snaps[idx].at, true
+		}
+	}
+	return w.snaps[oldest].s, w.snaps[oldest].at, true
+}
+
+// Sub returns the bucket-wise difference s − b (b must be an earlier
+// snapshot of the same histogram; buckets are monotonic, so clamping guards
+// only against snapshots from different histograms).
+func (s Snapshot) Sub(b Snapshot) Snapshot {
+	var out Snapshot
+	for i := range s.Counts {
+		if s.Counts[i] > b.Counts[i] {
+			out.Counts[i] = s.Counts[i] - b.Counts[i]
+			out.Total += out.Counts[i]
+		}
+	}
+	if s.Sum > b.Sum {
+		out.Sum = s.Sum - b.Sum
+	}
+	return out
+}
