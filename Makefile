@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-json slo smoke faults fuzz ci
+.PHONY: build vet test race bench bench-smoke bench-json bench-guard slo smoke faults fuzz ci
 
 build:
 	$(GO) build ./...
@@ -47,18 +47,23 @@ faults:
 	$(GO) run ./cmd/lpmbench -exp faults
 
 # Mirrors CI's race-and-fuzz job: race the concurrent packages, then give
-# each differential fuzz target a short budget.
+# each differential fuzz target a short budget. FuzzStackVsOracle is the
+# parameterized lookup-plane matrix target (DESIGN.md §14): one harness
+# covering {single,sharded} × {reference,compiled} × {cached,uncached} plus
+# update interleavings and injected commit failures.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -race ./internal/core ./internal/shard ./internal/serve ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/shard ./internal/serve ./internal/telemetry ./internal/planetest
 	$(GO) test -run xxx -fuzz FuzzParseRule -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzPrefixCoverBounds -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzReadModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzCompiledVsModel -fuzztime $(FUZZTIME) ./internal/rqrmi
-	$(GO) test -run xxx -fuzz FuzzEngineVsOracle -fuzztime $(FUZZTIME) ./internal/core
-	$(GO) test -run xxx -fuzz FuzzShardedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
-	$(GO) test -run xxx -fuzz FuzzShardedUpdateVsOracle -fuzztime $(FUZZTIME) ./internal/shard
-	$(GO) test -run xxx -fuzz FuzzCachedVsOracle -fuzztime $(FUZZTIME) ./internal/shard
+	$(GO) test -run xxx -fuzz FuzzStackVsOracle -fuzztime $(FUZZTIME) ./internal/planetest
 
-ci: build vet race smoke bench-smoke slo
+# E23 + E25 quick on the unified stack, compared against the committed
+# baseline: any speedup ratio regressing by more than 3% fails.
+bench-guard:
+	$(GO) run ./cmd/lpmbench -guard BENCH_PR6.json
+
+ci: build vet race smoke bench-smoke bench-guard slo
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lpmbench [-exp name] [-full] [-seed N] [-json out.json] [-compact]
-//	         [-metrics addr]
+//	         [-metrics addr] [-guard baseline.json]
 //
 // Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
 // worstcase binsearch bitwidth updates scaling headline modelsize tss dram
@@ -20,6 +20,13 @@
 // no timestamp or per-experiment elapsed time, one pipe-joined line per
 // table row — so committed BENCH_*.json files diff cleanly across PRs.
 // -metrics serves /metrics and /debug/pprof while the run is in flight.
+//
+// -guard is the unified-stack bench gate (CI's bench-smoke job): it reruns
+// E23 (compiled speedup) and E25 (hot-key cache) at quick scale — both now
+// routed through the plane-stack executor — and compares every speedup
+// ratio against the named baseline JSON. Ratios compare machine-portably
+// where absolute rates don't; any ratio regressing by more than 3%, or any
+// oracle mismatch, exits nonzero.
 package main
 
 import (
@@ -134,7 +141,18 @@ func main() {
 	jsonPath := flag.String("json", "", "write results as machine-readable JSON to this file")
 	compact := flag.Bool("compact", false, "with -json: summary-only deterministic shape (no timestamp/elapsed, one line per table row)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address while running")
+	guardPath := flag.String("guard", "", "rerun E23+E25 quick and fail if any speedup ratio regresses >3% vs this baseline JSON")
 	flag.Parse()
+
+	if *guardPath != "" {
+		sc := experiments.QuickScale()
+		sc.Seed = *seed
+		if err := runGuard(sc, *guardPath); err != nil {
+			fmt.Fprintf(os.Stderr, "lpmbench: guard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metricsAddr != "" {
 		go func() {

@@ -1,151 +1,57 @@
 package core
 
 import (
-	"sync"
-
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lcache"
-	"neurolpm/internal/telemetry"
+	"neurolpm/internal/plane"
 )
 
-// This file is the engine-side half of the result-cache plane (DESIGN.md
-// §12): cached variants of the lookup entry points. The cache itself —
-// layout, epoch semantics, the single-owner contract — lives in
-// internal/lcache; here the plane is glued onto the query path with one rule
-// throughout: load the epoch BEFORE touching any engine or delta state,
-// stamp every fill with that loaded value, never re-read it mid-lookup.
+// This file is the engine-side surface of the result-cache plane (DESIGN.md
+// §12): cached variants of the lookup entry points, all thin constant-config
+// wrappers over the stack executor in stack.go. The cache itself — layout,
+// epoch semantics, the single-owner contract — lives in internal/lcache; the
+// executor glues the plane onto the query path with one rule throughout:
+// load the epoch BEFORE touching any engine or delta state, stamp every fill
+// with that loaded value, never re-read it mid-lookup.
 //
 // Telemetry note: a cache hit answers without entering the engine, so it
 // increments neurolpm_lcache_hits_total but NOT neurolpm_lookups_total —
 // the engine counters keep meaning "queries the inference pipeline served".
 
 // LookupCached answers k through cache c (which the caller must own
-// exclusively for the duration — see lcache's single-owner contract). The
-// outcome reports how the cache participated; c == nil degrades to the
-// uncached path with outcome None.
+// exclusively for the duration — see lcache's single-owner contract). It is
+// LookupStack with the compiled+lcache configuration: answers obey the same
+// oracle-equivalence contract as Lookup. The outcome reports how the cache
+// participated; c == nil degrades to the uncached path with outcome None.
 func (e *Engine) LookupCached(k keys.Value, c *lcache.Cache) (action uint64, ok bool, o lcache.Outcome) {
-	if c.Bypassed(1) {
-		action, ok = e.Lookup(k)
-		return action, ok, lcache.None
-	}
-	// Flight sampling for the probe stage rides the cache's own plain tick
-	// (the hit path must stay free of extra atomics). A probe-stage record
-	// covers the whole cached query: on a hit it is probe-only; on a miss
-	// the engine time shows up as total − probe, while the engine's own
-	// independently-sampled records carry the stage split.
-	var fr *telemetry.FlightRecord
-	if telemetry.Flight.HitN(c.SampleTick()) {
-		var rec telemetry.FlightRecord
-		fr = &rec
-		fr.Begin(k.Hi, k.Lo)
-	}
-	epoch := e.epoch.Load()
-	action, ok, o = c.Get(k, epoch)
-	fr.Stamp(telemetry.StageProbe)
-	if o != lcache.Hit {
-		action, ok = e.Lookup(k)
-		c.Put(k, epoch, action, ok)
-	}
-	if fr != nil {
-		fr.Cache = uint8(o)
-		fr.Shard = e.shardID
-		fr.Action = action
-		fr.Matched = ok
-		telemetry.Flight.Commit(fr)
-	}
-	return action, ok, o
+	return e.lookupCachedStack(plane.Compiled, k, c)
 }
-
-// missScratch carries one batch's miss gather buffers; pooled so concurrent
-// cached batches stay allocation-free.
-type missScratch struct {
-	idx  []int32
-	keys []keys.Value
-}
-
-var missScratchPool = sync.Pool{New: func() any { return new(missScratch) }}
 
 // LookupBatchCached is LookupBatchCachedMem against a null DRAM model.
 func (e *Engine) LookupBatchCached(ks []keys.Value, out []BatchResult, c *lcache.Cache, epoch uint64) []BatchResult {
-	return e.LookupBatchCachedMem(ks, out, cachesim.Null{}, c, epoch)
+	return e.LookupBatchStack(plane.StackConfig{Cached: true}, ks, out, cachesim.Null{}, c, epoch)
 }
 
-// LookupBatchCachedMem is the batch-aware cached lookup: probe every key
-// first, resolve only the misses through the compiled plane's pipelined
-// blocks, and fill on the way out. epoch must be the value of
-// e.CacheEpoch().Load() taken by the caller BEFORE any staleness check on
-// surrounding state (ShardedUpdatable loads it before consulting
-// PendingInserts — loading it later would let an update land in between and
-// the pre-update answers would be cached under the post-update epoch).
-// c == nil (or an armed bypass) degrades to LookupBatchMem.
+// LookupBatchCachedMem is the batch-aware cached lookup — LookupBatchStack
+// with the compiled+lcache configuration: probe every key first, resolve
+// only the misses through the compiled plane's pipelined blocks, and fill on
+// the way out. epoch must be the value of e.CacheEpoch().Load() taken by the
+// caller BEFORE any staleness check on surrounding state (ShardedUpdatable
+// loads it before consulting PendingInserts — loading it later would let an
+// update land in between and the pre-update answers would be cached under
+// the post-update epoch). c == nil (or an armed bypass) degrades to
+// LookupBatchMem.
 func (e *Engine) LookupBatchCachedMem(ks []keys.Value, out []BatchResult, mem cachesim.Mem, c *lcache.Cache, epoch uint64) []BatchResult {
-	if c.Bypassed(len(ks)) {
-		return e.LookupBatchMem(ks, out, mem)
-	}
-	if cap(out) < len(ks) {
-		out = make([]BatchResult, len(ks))
-	}
-	out = out[:len(ks)]
-	sc := missScratchPool.Get().(*missScratch)
-	miss := sc.idx[:0]
-	for i, k := range ks {
-		a, m, o := c.Get(k, epoch)
-		if o == lcache.Hit {
-			out[i] = BatchResult{Action: a, Matched: m}
-		} else {
-			miss = append(miss, int32(i))
-		}
-	}
-	if len(miss) > 0 {
-		if cap(sc.keys) < len(miss) {
-			sc.keys = make([]keys.Value, len(miss))
-		}
-		mk := sc.keys[:len(miss)]
-		for j, i := range miss {
-			mk[j] = ks[i]
-		}
-		e.finishBatch(mk, mem, func(j int, r BatchResult) {
-			out[miss[j]] = r
-			c.Put(mk[j], epoch, r.Action, r.Matched)
-		})
-		sc.keys = mk
-	}
-	sc.idx = miss
-	missScratchPool.Put(sc)
-	return out
+	return e.LookupBatchStack(plane.StackConfig{Cached: true}, ks, out, mem, c, epoch)
 }
 
-// LookupCached answers k against the delta overlay + engine through cache c.
-// The epoch is loaded before either is read, so a fill can never carry a
-// pre-update answer under a post-update stamp.
+// LookupCached answers k against the delta overlay + engine through cache c:
+// LookupStack with the compiled+lcache configuration. The epoch is loaded
+// before either is read, so a fill can never carry a pre-update answer under
+// a post-update stamp.
 func (u *Updatable) LookupCached(k keys.Value, c *lcache.Cache) (action uint64, ok bool, o lcache.Outcome) {
-	if c.Bypassed(1) {
-		action, ok = u.Lookup(k)
-		return action, ok, lcache.None
-	}
-	eng := u.engine.Load()
-	var fr *telemetry.FlightRecord
-	if telemetry.Flight.HitN(c.SampleTick()) {
-		var rec telemetry.FlightRecord
-		fr = &rec
-		fr.Begin(k.Hi, k.Lo)
-	}
-	epoch := eng.epoch.Load()
-	action, ok, o = c.Get(k, epoch)
-	fr.Stamp(telemetry.StageProbe)
-	if o != lcache.Hit {
-		action, ok = u.Lookup(k)
-		c.Put(k, epoch, action, ok)
-	}
-	if fr != nil {
-		fr.Cache = uint8(o)
-		fr.Shard = eng.shardID
-		fr.Action = action
-		fr.Matched = ok
-		telemetry.Flight.Commit(fr)
-	}
-	return action, ok, o
+	return u.lookupCachedStack(plane.Compiled, k, c)
 }
 
 // CacheEpoch returns the lineage's invalidation counter (stable across

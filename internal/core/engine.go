@@ -24,6 +24,7 @@ import (
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 	"neurolpm/internal/ranges"
 	"neurolpm/internal/rqrmi"
 	"neurolpm/internal/telemetry"
@@ -271,6 +272,15 @@ func (e *Engine) Bucketized() bool { return e.dir != nil }
 
 // Lookup returns the action of the longest-prefix rule matching k.
 // ok is false when no live rule matches.
+//
+// Equivalence contract: every Lookup* variant — single-key or batch, Mem or
+// not, cached or not, reference or compiled, directly or through the sharded
+// router — must return exactly what the trie oracle returns for every key,
+// including misses. Lookup is the stack executor's compiled-uncached
+// configuration (LookupStack with the zero plane.StackConfig); the contract
+// across the full configuration matrix is enforced by the parameterized
+// harness in internal/planetest (FuzzStackVsOracle,
+// TestLookupEntryPointsEquivalent).
 func (e *Engine) Lookup(k keys.Value) (action uint64, ok bool) {
 	tr := e.lookup(k, cachesim.Null{}, nil)
 	return tr.Action, tr.Matched
@@ -339,7 +349,7 @@ func (e *Engine) lookup(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trac
 	end := sp.Stage("inference")
 	tr.Prediction = e.comp.Predict(k)
 	end()
-	fr.Stamp(telemetry.StageInference)
+	fr.Stamp(plane.StageInference)
 	e.finish(k, &tr, mem, sp, false, n, fr)
 	return tr
 }
@@ -386,7 +396,7 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 		b, tr.SRAMProbes = e.comp.Search(k, tr.Prediction)
 	}
 	end()
-	fr.Stamp(telemetry.StageSearch)
+	fr.Stamp(plane.StageSearch)
 	var cmp int
 	if e.dir == nil {
 		tr.RangeIndex = b
@@ -402,7 +412,7 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 			tr.RangeIndex, cmp = e.dir.Search(b, k)
 		}
 		end()
-		fr.Stamp(telemetry.StageFetch)
+		fr.Stamp(plane.StageFetch)
 		metBucketized.Inc()
 	}
 	tr.Action, tr.Matched = e.resolve(tr.RangeIndex)
@@ -437,19 +447,30 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 	}
 }
 
-// LookupReference answers k through the pre-compilation reference path:
-// Model.Predict's pointer-chasing LUT walk and the Index-interface bounded
-// search, with the same telemetry and DRAM accounting as Lookup. Results are
-// bit-identical to Lookup — only slower — so it serves differential tests
-// and the E23 reference-vs-compiled experiment.
+// LookupReference answers k through the reference-inference arm of the stack
+// executor: Model.Predict's pointer-chasing LUT walk and the Index-interface
+// bounded search, with the same telemetry and DRAM accounting as Lookup. It
+// is LookupStack with the reference-uncached configuration, and it obeys the
+// same equivalence contract as Lookup: bit-identical to the compiled plane
+// and to the trie oracle on every key (enforced per-build by Verify and
+// across the matrix by internal/planetest's parameterized harness). Only the
+// cost differs, which is what the E23 reference-vs-compiled experiment
+// measures.
 func (e *Engine) LookupReference(k keys.Value) (action uint64, ok bool) {
+	tr := e.lookupReference(k, cachesim.Null{})
+	return tr.Action, tr.Matched
+}
+
+// lookupReference is the reference-inference single-key arm shared by
+// LookupReference, the stack executor and the reference batch plane.
+func (e *Engine) lookupReference(k keys.Value, mem cachesim.Mem) Trace {
 	var tr Trace
 	n := metLookups.Inc()
 	tr.Prediction = e.model.Predict(k)
 	// The reference path is for differential tests and E23 — it never feeds
 	// the flight recorder, whose records describe the production plane.
-	e.finish(k, &tr, cachesim.Null{}, nil, true, n, nil)
-	return tr.Action, tr.Matched
+	e.finish(k, &tr, mem, nil, true, n, nil)
+	return tr
 }
 
 // BatchResult is one LookupBatch answer.
@@ -467,28 +488,25 @@ const batchBlock = 16
 // coefficient loads overlap across keys instead of serializing per lookup;
 // the searches and bucket fetches then complete each key with the same
 // instrumented tail as Lookup. out is reused when it has capacity, so a
-// caller looping over batches performs zero allocations.
+// caller looping over batches performs zero allocations. Batch answers obey
+// the same oracle-equivalence contract as Lookup (LookupBatch is the batch
+// stack executor's compiled-uncached configuration; see internal/planetest).
 func (e *Engine) LookupBatch(ks []keys.Value, out []BatchResult) []BatchResult {
-	return e.LookupBatchMem(ks, out, cachesim.Null{})
+	return e.LookupBatchStack(plane.StackConfig{}, ks, out, cachesim.Null{}, nil, 0)
 }
 
 // LookupBatchMem is LookupBatch with the batch's DRAM bucket fetches routed
 // through mem (which must tolerate concurrent Read calls if the caller
 // batches concurrently).
 func (e *Engine) LookupBatchMem(ks []keys.Value, out []BatchResult, mem cachesim.Mem) []BatchResult {
-	if cap(out) < len(ks) {
-		out = make([]BatchResult, len(ks))
-	}
-	out = out[:len(ks)]
-	e.finishBatch(ks, mem, func(i int, r BatchResult) { out[i] = r })
-	return out
+	return e.LookupBatchStack(plane.StackConfig{}, ks, out, mem, nil, 0)
 }
 
 // finishBatch runs the pipelined batch tail — blocked PredictBatch inference
 // plus the instrumented per-key finish — delivering ks[i]'s answer through
-// emit(i, result). It is the engine half shared by LookupBatchMem (emit
-// writes positionally) and LookupBatchCachedMem (emit scatters to the miss
-// positions and fills the result cache).
+// emit(i, result). It is the compiled inference plane of the batch stack
+// executor (stack.go): uncached stacks emit positionally, cached stacks
+// scatter to the miss positions and fill the result cache.
 func (e *Engine) finishBatch(ks []keys.Value, mem cachesim.Mem, emit func(i int, r BatchResult)) {
 	var preds [batchBlock]rqrmi.Prediction
 	for start := 0; start < len(ks); start += batchBlock {

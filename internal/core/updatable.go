@@ -9,6 +9,7 @@ import (
 	"neurolpm/internal/fault"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 )
 
 // ErrDeltaFull is the write-backpressure signal: the delta buffer is at
@@ -68,8 +69,17 @@ func (u *Updatable) PendingInserts() int {
 
 // Lookup consults the delta buffer and the main engine and returns the
 // longer-prefix match, exactly as a TCAM stage in front of the engine
-// would.
+// would. It obeys the same oracle-equivalence contract as Engine.Lookup —
+// the overlay must answer exactly what a trie over engine+delta rules would
+// — across every stack configuration (internal/planetest).
 func (u *Updatable) Lookup(k keys.Value) (uint64, bool) {
+	return u.lookupOverlay(plane.Compiled, k)
+}
+
+// lookupOverlay is the delta-overlay arm of the stack executor: the engine
+// half runs through the inf-selected inference plane, then the longer prefix
+// of {engine match, delta match} wins.
+func (u *Updatable) lookupOverlay(inf plane.Inference, k keys.Value) (uint64, bool) {
 	e := u.engine.Load()
 	// The delta read takes the mutex: the buffer is tiny, and insertion
 	// latency is the quantity being optimized, not query concurrency with
@@ -77,7 +87,7 @@ func (u *Updatable) Lookup(k keys.Value) (uint64, bool) {
 	u.mu.Lock()
 	dAction, dLen, dOK := u.delta.lookup(k)
 	u.mu.Unlock()
-	tr := e.LookupMem(k, nullMem{})
+	tr := e.lookupInfer(inf, k, nullMem{})
 	if !tr.Matched {
 		if dOK {
 			return dAction, true

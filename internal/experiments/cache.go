@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"time"
 
+	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
 	"neurolpm/internal/fault"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
 	"neurolpm/internal/workload"
@@ -106,7 +108,9 @@ func CacheHotKey(sc Scale) ([]CacheCell, error) {
 
 	// rowsFor produces one workload's rows: the uncached baseline plus one
 	// row per cache size, with correctness + hit-rate passes per variant and
-	// a drift-immune interleaved rate measurement across all of them.
+	// a drift-immune interleaved rate measurement across all of them. Every
+	// variant rides the unified stack executor — the cached rows select the
+	// lcache plane via plane.StackConfig, the baseline the uncached stack.
 	rowsFor := func(name string, trace []keys.Value, kbs []int) []CacheCell {
 		wantA := make([]uint64, len(trace))
 		wantM := make([]bool, len(trace))
@@ -123,11 +127,12 @@ func CacheHotKey(sc Scale) ([]CacheCell, error) {
 			vs = append(vs, &variant{cell: CacheCell{Workload: name, CacheKB: kb}, c: lcache.New(kb << 10)})
 		}
 		for _, v := range vs {
+			st := plane.StackConfig{Cached: v.c != nil}
 			var out []core.BatchResult
 			// Correctness pass (doubles as cache warm-up).
 			for lo := 0; lo < len(trace); lo += cacheBatchSize {
 				hi := min(lo+cacheBatchSize, len(trace))
-				out = eng.LookupBatchCached(trace[lo:hi], out, v.c, epoch)
+				out = eng.LookupBatchStack(st, trace[lo:hi], out[:0], cachesim.Null{}, v.c, epoch)
 				for i, r := range out {
 					if r.Action != wantA[lo+i] || r.Matched != wantM[lo+i] {
 						v.cell.Mismatches++
@@ -137,7 +142,7 @@ func CacheHotKey(sc Scale) ([]CacheCell, error) {
 			// Hit/stale breakdown over one warm pass.
 			deltas := lcacheDeltas()
 			for lo := 0; lo < len(trace); lo += cacheBatchSize {
-				out = eng.LookupBatchCached(trace[lo:min(lo+cacheBatchSize, len(trace))], out, v.c, epoch)
+				out = eng.LookupBatchStack(st, trace[lo:min(lo+cacheBatchSize, len(trace))], out[:0], cachesim.Null{}, v.c, epoch)
 			}
 			if h, m, s := deltas(); v.c != nil && h+m+s > 0 {
 				tot := float64(h + m + s)
@@ -147,11 +152,12 @@ func CacheHotKey(sc Scale) ([]CacheCell, error) {
 		}
 		runs := make([]func([]keys.Value), len(vs))
 		for i, v := range vs {
+			st := plane.StackConfig{Cached: v.c != nil}
 			c := v.c
 			var out []core.BatchResult
 			runs[i] = func(ks []keys.Value) {
 				for lo := 0; lo < len(ks); lo += cacheBatchSize {
-					out = eng.LookupBatchCached(ks[lo:min(lo+cacheBatchSize, len(ks))], out, c, epoch)
+					out = eng.LookupBatchStack(st, ks[lo:min(lo+cacheBatchSize, len(ks))], out[:0], cachesim.Null{}, c, epoch)
 				}
 			}
 		}
@@ -230,12 +236,15 @@ func cacheStormRow(sc Scale, rs *lpm.RuleSet, trace []keys.Value) (CacheCell, er
 	}
 
 	// Uncached baseline first (the plane is off until EnableCache), then the
-	// cached phase over the identical storm state.
-	base := measureRate(trace, func(ks []keys.Value) {
+	// cached phase over the identical storm state. The phases are ordered —
+	// the plane cannot be re-disabled — so each takes its own best-of-3
+	// instead of interleaving.
+	runTrace := func(ks []keys.Value) {
 		for lo := 0; lo < len(ks); lo += cacheBatchSize {
 			sh.LookupBatch(ks[lo:min(lo+cacheBatchSize, len(ks))])
 		}
-	})
+	}
+	base := measureRatesInterleaved(trace, []func([]keys.Value){runTrace})[0]
 	sh.EnableCache(CacheSizesKB[0] << 10)
 	check := func() {
 		for lo := 0; lo < len(trace); lo += cacheBatchSize {
@@ -249,11 +258,7 @@ func cacheStormRow(sc Scale, rs *lpm.RuleSet, trace []keys.Value) (CacheCell, er
 	}
 	check()
 	deltas := lcacheDeltas()
-	cell.MLookupsPS = measureRate(trace, func(ks []keys.Value) {
-		for lo := 0; lo < len(ks); lo += cacheBatchSize {
-			sh.LookupBatch(ks[lo:min(lo+cacheBatchSize, len(ks))])
-		}
-	})
+	cell.MLookupsPS = measureRatesInterleaved(trace, []func([]keys.Value){runTrace})[0]
 	if h, m, s := deltas(); h+m+s > 0 {
 		tot := float64(h + m + s)
 		cell.HitPct = 100 * float64(h) / tot

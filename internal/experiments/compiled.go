@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 	"neurolpm/internal/workload"
 )
 
@@ -53,44 +55,57 @@ func CompiledSpeedup(sc Scale) ([]CompiledCell, error) {
 		}
 	}
 
+	// All three rows run the unified stack executor (DESIGN.md §14): Lookup
+	// and LookupReference are the stack's inlined single-key entry points
+	// (the zero and reference StackConfigs), and the batch row dispatches on
+	// an explicit config through LookupBatchStack — the same arm every batch
+	// wrapper reaches.
+	compStack := plane.StackConfig{}
+
 	ref := CompiledCell{Path: "reference", BatchSize: 1}
 	for i, k := range trace {
 		a, ok := eng.LookupReference(k)
 		check(i, a, ok, &ref)
 	}
-	ref.MLookupsPS = measureRate(trace, func(ks []keys.Value) {
-		for _, k := range ks {
-			eng.LookupReference(k)
-		}
-	})
-	ref.Speedup = 1
 
 	single := CompiledCell{Path: "compiled", BatchSize: 1}
 	for i, k := range trace {
 		a, ok := eng.Lookup(k)
 		check(i, a, ok, &single)
 	}
-	single.MLookupsPS = measureRate(trace, func(ks []keys.Value) {
-		for _, k := range ks {
-			eng.Lookup(k)
-		}
-	})
-	single.Speedup = single.MLookupsPS / ref.MLookupsPS
 
 	batch := CompiledCell{Path: "compiled-batch", BatchSize: CompiledBatchSize}
 	var out []core.BatchResult
 	for lo := 0; lo < len(trace); lo += CompiledBatchSize {
 		hi := min(lo+CompiledBatchSize, len(trace))
-		out = eng.LookupBatch(trace[lo:hi], out)
+		out = eng.LookupBatchStack(compStack, trace[lo:hi], out[:0], cachesim.Null{}, nil, 0)
 		for i, res := range out {
 			check(lo+i, res.Action, res.Matched, &batch)
 		}
 	}
-	batch.MLookupsPS = measureRate(trace, func(ks []keys.Value) {
-		for lo := 0; lo < len(ks); lo += CompiledBatchSize {
-			out = eng.LookupBatch(ks[lo:min(lo+CompiledBatchSize, len(ks))], out)
-		}
+
+	// Drift-immune rates: the three variants interleave rounds and keep each
+	// one's best, so the speedup ratios survive thermal/background drift.
+	rates := measureRatesInterleaved(trace, []func([]keys.Value){
+		func(ks []keys.Value) {
+			for _, k := range ks {
+				eng.LookupReference(k)
+			}
+		},
+		func(ks []keys.Value) {
+			for _, k := range ks {
+				eng.Lookup(k)
+			}
+		},
+		func(ks []keys.Value) {
+			for lo := 0; lo < len(ks); lo += CompiledBatchSize {
+				out = eng.LookupBatchStack(compStack, ks[lo:min(lo+CompiledBatchSize, len(ks))], out[:0], cachesim.Null{}, nil, 0)
+			}
+		},
 	})
+	ref.MLookupsPS, single.MLookupsPS, batch.MLookupsPS = rates[0], rates[1], rates[2]
+	ref.Speedup = 1
+	single.Speedup = single.MLookupsPS / ref.MLookupsPS
 	batch.Speedup = batch.MLookupsPS / ref.MLookupsPS
 
 	return []CompiledCell{ref, single, batch}, nil

@@ -1,0 +1,233 @@
+package planetest
+
+import (
+	"testing"
+
+	"neurolpm/internal/cachesim"
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
+	"neurolpm/internal/shard"
+	"neurolpm/internal/workload"
+)
+
+// TestLookupEntryPointsEquivalent drives EVERY exported lookup entry point —
+// single-key and batch, core and shard, reference and compiled, cached and
+// uncached — over one shared workload-calibrated corpus and asserts each
+// answers exactly what the trie oracle answers, misses included. This is the
+// table-driven face of the equivalence contract the fuzz target probes
+// adversarially: adding a lookup variant means adding a row here, not a new
+// harness.
+func TestLookupEntryPointsEquivalent(t *testing.T) {
+	profile := workload.RIPE()
+	width := profile.Width
+	rs, err := workload.Generate(profile, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.GenerateTrace(rs, workload.DefaultTrace(384, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibrated trace is hit-heavy; uniform keys supply the misses.
+	corpus := append(trace, workload.UniformTrace(width, 128, 11)...)
+
+	oracle := lpm.NewTrieMatcher(rs)
+	hits, misses := 0, 0
+	for _, k := range corpus {
+		if _, ok := oracle.Lookup(k); ok {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("corpus must cover both outcomes: %d hits, %d misses", hits, misses)
+	}
+
+	cfg := core.Config{BucketSize: 8, Model: QuickModel()}
+	eng, err := core.Build(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := core.NewUpdatable(eng, 0)
+	sh, err := shard.Build(rs, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	sh.EnableCache(64 << 10)
+	su, err := shard.BuildUpdatable(rs, cfg, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer su.Close()
+	su.EnableCache(64 << 10)
+	cache := lcache.New(64 << 10)
+
+	singles := []struct {
+		name string
+		look func(k keys.Value) (uint64, bool)
+	}{
+		{"Engine.Lookup", eng.Lookup},
+		{"Engine.LookupReference", eng.LookupReference},
+		{"Engine.LookupMem", func(k keys.Value) (uint64, bool) {
+			tr := eng.LookupMem(k, cachesim.Null{})
+			return tr.Action, tr.Matched
+		}},
+		{"Engine.LookupSpan", func(k keys.Value) (uint64, bool) {
+			tr, _ := eng.LookupSpan(k, cachesim.Null{})
+			return tr.Action, tr.Matched
+		}},
+		{"Engine.LookupCached", func(k keys.Value) (uint64, bool) {
+			a, ok, _ := eng.LookupCached(k, cache)
+			return a, ok
+		}},
+		{"Updatable.Lookup", upd.Lookup},
+		{"Updatable.LookupCached", func(k keys.Value) (uint64, bool) {
+			a, ok, _ := upd.LookupCached(k, cache)
+			return a, ok
+		}},
+		{"Sharded.Lookup", sh.Lookup},
+		{"Sharded.LookupCached", func(k keys.Value) (uint64, bool) {
+			a, ok, _ := sh.LookupCached(k)
+			return a, ok
+		}},
+		{"ShardedUpdatable.Lookup", su.Lookup},
+		{"ShardedUpdatable.LookupCached", func(k keys.Value) (uint64, bool) {
+			a, ok, _ := su.LookupCached(k)
+			return a, ok
+		}},
+	}
+	for _, st := range plane.Matrix() {
+		st := st
+		c := cache
+		if !st.Cached {
+			c = nil
+		}
+		singles = append(singles,
+			struct {
+				name string
+				look func(k keys.Value) (uint64, bool)
+			}{"Engine.LookupStack/" + st.String(), func(k keys.Value) (uint64, bool) {
+				a, ok, _ := eng.LookupStack(st, k, c)
+				return a, ok
+			}},
+			struct {
+				name string
+				look func(k keys.Value) (uint64, bool)
+			}{"Updatable.LookupStack/" + st.String(), func(k keys.Value) (uint64, bool) {
+				a, ok, _ := upd.LookupStack(st, k, c)
+				return a, ok
+			}},
+			struct {
+				name string
+				look func(k keys.Value) (uint64, bool)
+			}{"Sharded.LookupStack/" + st.String(), func(k keys.Value) (uint64, bool) {
+				a, ok, _ := sh.LookupStack(st, k)
+				return a, ok
+			}},
+			struct {
+				name string
+				look func(k keys.Value) (uint64, bool)
+			}{"ShardedUpdatable.LookupStack/" + st.String(), func(k keys.Value) (uint64, bool) {
+				a, ok, _ := su.LookupStack(st, k)
+				return a, ok
+			}},
+		)
+	}
+	for _, tc := range singles {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, k := range corpus {
+				want, wantOK := oracle.Lookup(k)
+				got, ok := tc.look(k)
+				if ok != wantOK || (wantOK && got != want) {
+					t.Fatalf("key %v: (%d,%v), oracle (%d,%v)", k, got, ok, want, wantOK)
+				}
+			}
+		})
+	}
+
+	coreBatch := func(res []core.BatchResult) []Result {
+		out := make([]Result, len(res))
+		for i, r := range res {
+			out[i] = Result{r.Action, r.Matched}
+		}
+		return out
+	}
+	shardBatch := func(res []shard.Result) []Result {
+		out := make([]Result, len(res))
+		for i, r := range res {
+			out[i] = Result{r.Action, r.Matched}
+		}
+		return out
+	}
+	batches := []struct {
+		name  string
+		batch func(ks []keys.Value) []Result
+	}{
+		{"Engine.LookupBatch", func(ks []keys.Value) []Result {
+			return coreBatch(eng.LookupBatch(ks, nil))
+		}},
+		{"Engine.LookupBatchMem", func(ks []keys.Value) []Result {
+			return coreBatch(eng.LookupBatchMem(ks, nil, cachesim.Null{}))
+		}},
+		{"Engine.LookupBatchCached", func(ks []keys.Value) []Result {
+			return coreBatch(eng.LookupBatchCached(ks, nil, cache, eng.CacheEpoch().Load()))
+		}},
+		{"Engine.LookupBatchCachedMem", func(ks []keys.Value) []Result {
+			return coreBatch(eng.LookupBatchCachedMem(ks, nil, cachesim.Null{}, cache, eng.CacheEpoch().Load()))
+		}},
+		{"Sharded.LookupBatch", func(ks []keys.Value) []Result {
+			return shardBatch(sh.LookupBatch(ks))
+		}},
+		{"ShardedUpdatable.LookupBatch", func(ks []keys.Value) []Result {
+			return shardBatch(su.LookupBatch(ks))
+		}},
+	}
+	for _, st := range plane.Matrix() {
+		st := st
+		c := cache
+		if !st.Cached {
+			c = nil
+		}
+		batches = append(batches,
+			struct {
+				name  string
+				batch func(ks []keys.Value) []Result
+			}{"Engine.LookupBatchStack/" + st.String(), func(ks []keys.Value) []Result {
+				return coreBatch(eng.LookupBatchStack(st, ks, nil, cachesim.Null{}, c, eng.CacheEpoch().Load()))
+			}},
+			struct {
+				name  string
+				batch func(ks []keys.Value) []Result
+			}{"Sharded.LookupBatchStack/" + st.String(), func(ks []keys.Value) []Result {
+				return shardBatch(sh.LookupBatchStack(st, ks))
+			}},
+			struct {
+				name  string
+				batch func(ks []keys.Value) []Result
+			}{"ShardedUpdatable.LookupBatchStack/" + st.String(), func(ks []keys.Value) []Result {
+				return shardBatch(su.LookupBatchStack(st, ks))
+			}},
+		)
+	}
+	for _, tc := range batches {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res := tc.batch(corpus)
+			if len(res) != len(corpus) {
+				t.Fatalf("batch returned %d results for %d keys", len(res), len(corpus))
+			}
+			for i, k := range corpus {
+				want, wantOK := oracle.Lookup(k)
+				if res[i].Matched != wantOK || (wantOK && res[i].Action != want) {
+					t.Fatalf("key %v: (%d,%v), oracle (%d,%v)", k, res[i].Action, res[i].Matched, want, wantOK)
+				}
+			}
+		})
+	}
+}

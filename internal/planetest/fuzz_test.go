@@ -1,0 +1,211 @@
+package planetest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/fault"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
+	"neurolpm/internal/shard"
+)
+
+// FuzzStackVsOracle is THE differential fuzz target for the lookup-plane
+// matrix: for arbitrary rule-sets, shard counts, key streams and update
+// interleavings — {Insert, Delete, ModifyAction, failed Commit, successful
+// Commit}, with commit failures injected through internal/fault — every
+// (topology, stack) combo in plane.Combos() must answer exactly what a trie
+// oracle over the logical rule-set answers, after every step (the CLAUDE.md
+// correctness invariant).
+//
+// The input splits in half: the first half derives the base rule-set, the
+// second half drives update ops on the sharded side (7 bytes per op, ≤12
+// ops) plus a no-retrain tombstone delete on the single engine. `sel` picks
+// the shard count and whether the single engine is bucketized.
+//
+// It subsumes the retired per-combination targets — FuzzEngineVsOracle,
+// FuzzShardedVsOracle, FuzzShardedUpdateVsOracle and FuzzCachedVsOracle —
+// whose seed corpora are carried forward below.
+func FuzzStackVsOracle(f *testing.F) {
+	// Union of the retired targets' seeds (the core target's bool third
+	// argument maps to sel's low bit, which toggles bucketization).
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2}, uint64(1), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2}, uint64(1), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 64, 0, 0, 0, 1, 6}, uint64(42), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 64, 0, 0, 0, 1, 6}, uint64(42), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2, 0, 1, 2, 3, 4, 5, 6, 3, 0, 0, 0, 0, 0, 0, 0}, uint64(1), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 3, 1, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0}, uint64(42), uint8(2))
+	f.Add([]byte{}, uint64(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, keySeed uint64, sel uint8) {
+		const width = 32
+		split := len(data) / 2
+		base := DeriveRules(width, data[:split])
+		rs, err := lpm.NewRuleSet(width, base)
+		if err != nil {
+			t.Fatalf("derived rule-set invalid: %v", err)
+		}
+
+		// Single topology: bucketization toggled by sel's low bit.
+		cfg := core.Config{Model: FuzzModel()}
+		if sel&1 == 1 {
+			cfg.BucketSize = 8
+		}
+		eng, err := core.Build(rs, cfg)
+		if err != nil {
+			t.Fatalf("Build(%d rules): %v", rs.Len(), err)
+		}
+
+		// Sharded topology: fault-injected commits, tiny cache tables for
+		// maximal eviction pressure on the cached stacks.
+		nShards := []int{2, 4, 8}[int(sel)%3]
+		in := fault.NewInjector(keySeed | 1)
+		ucfg := core.Config{BucketSize: 8, Model: FuzzModel(), Fault: in.Hook()}
+		u, err := shard.BuildUpdatable(rs, ucfg, nShards, 0)
+		if err != nil {
+			t.Fatalf("BuildUpdatable(%d shards, %d rules): %v", nShards, rs.Len(), err)
+		}
+		u.EnableCache(lcache.MinBytes)
+		fx := NewFixture(width, eng, u)
+
+		type ruleKey struct {
+			p keys.Value
+			l int
+		}
+		live := append([]lpm.Rule(nil), base...)
+		installed := map[ruleKey]bool{}
+		for _, r := range base {
+			installed[ruleKey{r.Prefix, r.Len}] = true
+		}
+		rng := rand.New(rand.NewSource(int64(keySeed)))
+		shardedCheck := func(stage string, cs []plane.Combo) {
+			t.Helper()
+			set, err := lpm.NewRuleSet(width, append([]lpm.Rule(nil), live...))
+			if err != nil {
+				t.Fatalf("%s: model rule-set invalid: %v", stage, err)
+			}
+			ks := Corpus(width, live, 16, rng)
+			if err := fx.CheckCombos(cs, lpm.NewTrieMatcher(set), ks); err != nil {
+				t.Fatalf("%s (%d shards): %v", stage, nShards, err)
+			}
+		}
+
+		// Fresh: both topologies serve the base rule-set — the full 8-combo
+		// matrix checks against one oracle.
+		baseOracle := lpm.NewTrieMatcher(rs)
+		freshKeys := Corpus(width, base, 64, rng)
+		if err := fx.CheckCombos(SingleCombos(), baseOracle, freshKeys); err != nil {
+			t.Fatalf("fresh: %v", err)
+		}
+		if err := fx.CheckCombos(ShardedCombos(), baseOracle, freshKeys); err != nil {
+			t.Fatalf("fresh (%d shards): %v", nShards, err)
+		}
+
+		// Update ops on the sharded side; after each op one stack (rotating
+		// through the matrix) re-checks against a fresh oracle.
+		ops := data[split:]
+		for i, n := 0, 0; i+7 <= len(ops) && n < 12; i, n = i+7, n+1 {
+			switch ops[i] % 5 {
+			case 0: // insert a fresh rule
+				rr := DeriveRules(width, ops[i+1:i+7])
+				if len(rr) == 0 || installed[ruleKey{rr[0].Prefix, rr[0].Len}] {
+					continue
+				}
+				r := rr[0]
+				if err := u.Insert(r); err != nil {
+					if errors.Is(err, core.ErrDeltaFull) {
+						continue // backpressure is a legal outcome
+					}
+					t.Fatalf("insert %v: %v", r, err)
+				}
+				installed[ruleKey{r.Prefix, r.Len}] = true
+				live = append(live, r)
+			case 1: // delete an installed rule
+				if len(live) == 0 {
+					continue
+				}
+				j := int(ops[i+1]) % len(live)
+				r := live[j]
+				if err := u.Delete(r.Prefix, r.Len); err != nil {
+					t.Fatalf("delete %v: %v", r, err)
+				}
+				delete(installed, ruleKey{r.Prefix, r.Len})
+				live = append(live[:j], live[j+1:]...)
+			case 2: // modify an installed rule's action
+				if len(live) == 0 {
+					continue
+				}
+				j := int(ops[i+1]) % len(live)
+				a := uint64(ops[i+2]) + 1
+				if err := u.ModifyAction(live[j].Prefix, live[j].Len, a); err != nil {
+					t.Fatalf("modify %v: %v", live[j], err)
+				}
+				live[j].Action = a
+			case 3: // failed commit of a dirty shard
+				s := int(ops[i+1]) % u.Shards()
+				if u.Statuses()[s].Pending == 0 {
+					continue
+				}
+				in.FailNext(fault.SiteRetrain, 1)
+				err := u.Commit(s)
+				in.Clear(fault.SiteRetrain)
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("injected commit failure lost: %v", err)
+				}
+				if u.LastCommitErr() == nil {
+					t.Fatal("failed commit not observable through LastCommitErr")
+				}
+			case 4: // successful commit of a dirty shard
+				s := int(ops[i+1]) % u.Shards()
+				if u.Statuses()[s].Pending == 0 {
+					continue
+				}
+				if err := u.Commit(s); err != nil {
+					t.Fatalf("commit shard %d: %v", s, err)
+				}
+			}
+			rotating := ShardedCombos()[n%4 : n%4+1]
+			shardedCheck(fmt.Sprintf("after op %d", i/7), rotating)
+		}
+
+		// Single-engine tombstone delete (the §6.5 no-retrain path): re-check
+		// all four single stacks against an oracle over the survivors.
+		if len(base) >= 2 {
+			doomed := base[int(keySeed)%len(base)]
+			if err := eng.Delete(doomed.Prefix, doomed.Len); err != nil {
+				t.Fatalf("Delete(%v): %v", doomed, err)
+			}
+			var rest []lpm.Rule
+			for _, r := range base {
+				if r.Prefix != doomed.Prefix || r.Len != doomed.Len {
+					rest = append(rest, r)
+				}
+			}
+			restSet, err := lpm.NewRuleSet(width, rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fx.CheckCombos(SingleCombos(), lpm.NewTrieMatcher(restSet), Corpus(width, base, 32, rng)); err != nil {
+				t.Fatalf("post-delete: %v", err)
+			}
+		}
+
+		// Recovery: a final successful commit applies everything exactly once
+		// and resolves any lingering failure state; the full sharded matrix
+		// must agree with the oracle afterwards.
+		if err := u.CommitAll(); err != nil {
+			t.Fatalf("final CommitAll: %v", err)
+		}
+		if got := u.PendingInserts(); got != 0 {
+			t.Fatalf("pending after final commit: %d", got)
+		}
+		shardedCheck("after recovery", ShardedCombos())
+		if err := u.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package planetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
+	"neurolpm/internal/shard"
+)
+
+// TestStackMetamorphic checks oracle-free invariants of the lookup-plane
+// matrix: with both topologies serving the same rule-set,
+//
+//  1. all eight (topology, stack) combos answer every key identically —
+//     reference ≡ compiled, cached ≡ uncached, single ≡ sharded;
+//  2. the batch entry point equals the single-key entry point, pointwise;
+//  3. batch answers are invariant under permutation of the key slice;
+//  4. duplicating every key yields pairwise-identical answers (the second
+//     occurrence rides the intra-batch cache-hit path);
+//  5. repeating the identical batch yields identical answers (repeat probes
+//     hit warm cache entries instead of re-running inference).
+//
+// None of these properties consults the oracle — they hold for any correct
+// implementation, so a violation localizes a divergence BETWEEN variants
+// even when both happen to agree with the trie on the sampled keys.
+func TestStackMetamorphic(t *testing.T) {
+	const width = 32
+	rules := RandomRules(width, 600, 71)
+	rs, err := lpm.NewRuleSet(width, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(rs, core.Config{BucketSize: 8, Model: QuickModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := shard.BuildUpdatable(rs, core.Config{BucketSize: 8, Model: QuickModel()}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	u.EnableCache(64 << 10)
+	fx := NewFixture(width, eng, u)
+
+	rng := rand.New(rand.NewSource(73))
+	ks := Corpus(width, rules, 256, rng)
+	combos := plane.Combos()
+
+	// Properties 1+2: every combo, batch and single-key, equals combo[0]'s
+	// batch answers.
+	ref := fx.LookupBatch(combos[0], ks)
+	for _, cb := range combos {
+		batch := fx.LookupBatch(cb, ks)
+		for i, k := range ks {
+			if batch[i] != ref[i] {
+				t.Fatalf("%s: batch key %v: %+v, %s got %+v", cb, k, batch[i], combos[0], ref[i])
+			}
+			if got := fx.Lookup(cb, k); got != ref[i] {
+				t.Fatalf("%s: single key %v: %+v, batch %+v", cb, k, got, ref[i])
+			}
+		}
+	}
+
+	for _, cb := range combos {
+		// Property 3: permutation invariance.
+		perm := rng.Perm(len(ks))
+		pks := make([]keys.Value, len(ks))
+		for i, j := range perm {
+			pks[i] = ks[j]
+		}
+		pres := fx.LookupBatch(cb, pks)
+		for i, j := range perm {
+			if pres[i] != ref[j] {
+				t.Fatalf("%s: permuted batch key %v: %+v, in-order %+v", cb, pks[i], pres[i], ref[j])
+			}
+		}
+
+		// Property 4: duplication — both occurrences answer alike.
+		doubled := append(append(make([]keys.Value, 0, 2*len(ks)), ks...), ks...)
+		dres := fx.LookupBatch(cb, doubled)
+		for i := range ks {
+			if dres[i] != dres[i+len(ks)] {
+				t.Fatalf("%s: key %v answers diverge within one batch: %+v then %+v",
+					cb, ks[i], dres[i], dres[i+len(ks)])
+			}
+			if dres[i] != ref[i] {
+				t.Fatalf("%s: doubled batch key %v: %+v, plain batch %+v", cb, ks[i], dres[i], ref[i])
+			}
+		}
+
+		// Property 5: repeat — the second run of the identical batch (all
+		// warm cache entries for cached stacks) answers alike.
+		again := fx.LookupBatch(cb, ks)
+		for i := range ks {
+			if again[i] != ref[i] {
+				t.Fatalf("%s: repeat batch key %v: %+v, first run %+v", cb, ks[i], again[i], ref[i])
+			}
+		}
+	}
+}

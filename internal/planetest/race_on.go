@@ -1,0 +1,5 @@
+//go:build race
+
+package planetest
+
+const raceEnabled = true

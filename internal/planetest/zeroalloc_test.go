@@ -1,0 +1,65 @@
+package planetest
+
+import (
+	"testing"
+
+	"neurolpm/internal/cachesim"
+	"neurolpm/internal/core"
+	"neurolpm/internal/keys"
+	"neurolpm/internal/lcache"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
+)
+
+// TestCachedBatchZeroAllocs pins the shared cached-batch executor
+// (core/stack.go lookupBatchCachedStack — the dedup of the old
+// LookupBatchCached / LookupBatchCachedMem copies) at zero steady-state
+// allocations, on both the all-hit path and the miss-fill path. The miss
+// scratch rides a sync.Pool, so the pin runs with GC-triggered pool drops
+// tolerated via an amortized bound rather than a per-run assertion.
+func TestCachedBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; strict zero-alloc pin runs in the non-race suite")
+	}
+	const width = 32
+	rules := RandomRules(width, 400, 91)
+	rs, err := lpm.NewRuleSet(width, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(rs, core.Config{BucketSize: 8, Model: QuickModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := lcache.New(64 << 10)
+	st := plane.StackConfig{Cached: true}
+
+	ks := make([]keys.Value, 256)
+	for i := range ks {
+		ks[i] = rules[(i*7)%len(rules)].Low(width)
+	}
+	out := make([]core.BatchResult, len(ks))
+
+	run := func() {
+		epoch := eng.CacheEpoch().Load()
+		out = eng.LookupBatchStack(st, ks, out[:0], cachesim.Null{}, cache, epoch)
+	}
+	// Warm: fills the cache (subsequent runs are all hits) and primes the
+	// scratch pools.
+	run()
+	if avg := testing.AllocsPerRun(50, run); avg > 0 {
+		t.Errorf("all-hit cached batch allocates %.2f/op, want 0", avg)
+	}
+
+	// Miss-fill path: bump the epoch before each run so every probe goes
+	// stale and the whole batch takes the gather-miss → runBatch → scatter
+	// arm. Scratch reuse must keep this allocation-free too.
+	missRun := func() {
+		eng.CacheEpoch().Bump()
+		run()
+	}
+	missRun()
+	if avg := testing.AllocsPerRun(50, missRun); avg > 0 {
+		t.Errorf("miss-fill cached batch allocates %.2f/op, want 0", avg)
+	}
+}

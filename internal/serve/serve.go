@@ -24,6 +24,7 @@ import (
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
 )
@@ -48,6 +49,12 @@ type Server struct {
 	// lives inside the shard router (EnableCache) and this stays nil.
 	rcache *lcache.Pool
 
+	// stack is the lookup-plane stack the endpoints serve (DESIGN.md §14):
+	// compiled-uncached by default, with the cache-probe plane prepended by
+	// UseResultCache. Set before serving traffic; /lookup and /batch route
+	// through the stack executors with this configuration, /trace reports it.
+	stack plane.StackConfig
+
 	// info accumulates the neurolpm_build_info labels (mode, shards,
 	// cache-bytes, ...); guarded by mu.
 	info map[string]string
@@ -62,6 +69,7 @@ func New(eng *core.Engine, reg *telemetry.Registry) *Server {
 	telemetry.PublishExpvar()
 	telemetry.StartRotor()
 	s.SetInfo("mode", "single")
+	s.SetInfo("stack", s.stack.String())
 	s.registerSingleObserverGauges()
 	return s
 }
@@ -77,6 +85,7 @@ func NewSharded(sh *shard.ShardedUpdatable, reg *telemetry.Registry) *Server {
 	telemetry.PublishExpvar()
 	telemetry.StartRotor()
 	s.SetInfo("mode", "sharded")
+	s.SetInfo("stack", s.stack.String())
 	s.SetInfo("shards", strconv.Itoa(sh.Shards()))
 	return s
 }
@@ -136,6 +145,8 @@ func (s *Server) UseResultCache(bytes int) {
 	if bytes <= 0 {
 		return
 	}
+	s.stack.Cached = true
+	s.SetInfo("stack", s.stack.String())
 	defer s.SetInfo("cache_bytes", strconv.Itoa(bytes))
 	if s.sh != nil {
 		s.sh.EnableCache(bytes)
@@ -267,13 +278,15 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.sh != nil {
-		if s.sh.CacheEnabled() {
-			action, ok, o := s.sh.LookupCached(k)
-			writeJSON(w, lookupResponse{Key: k.String(), Matched: ok, Action: action, Cache: o.String()})
-			return
+		// One stack-executor call serves both the cached and uncached
+		// configurations; the cache-outcome field appears only when the
+		// plane is part of the served stack.
+		action, ok, o := s.sh.LookupStack(s.stack, k)
+		resp := lookupResponse{Key: k.String(), Matched: ok, Action: action}
+		if s.stack.Cached {
+			resp.Cache = o.String()
 		}
-		action, ok := s.sh.Lookup(k)
-		writeJSON(w, lookupResponse{Key: k.String(), Matched: ok, Action: action})
+		writeJSON(w, resp)
 		return
 	}
 	if s.rcache != nil {
@@ -303,9 +316,11 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 // traceResponse is the /trace JSON shape: the paper-units trace plus the
-// timed span.
+// timed span. Stack names the lookup-plane stack the server routes queries
+// through (DESIGN.md §14); the span's stage names are the stack's stages.
 type traceResponse struct {
 	Lookup lookupResponse  `json:"lookup"`
+	Stack  string          `json:"stack"`
 	Span   *telemetry.Span `json:"span"`
 }
 
@@ -326,8 +341,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	// a hit still spans. The duplicated pipeline work on a miss is fine for a
 	// debug endpoint.
 	if s.sh != nil {
-		if s.sh.CacheEnabled() {
-			_, _, o := s.sh.LookupCached(k)
+		if s.stack.Cached {
+			_, _, o := s.sh.LookupStack(s.stack, k)
 			outcome = o.String()
 		}
 		// Span the key's sub-engine directly; the delta-buffer overlay is
@@ -351,7 +366,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			DRAMBytes:  tr.DRAMBytes,
 			Cache:      outcome,
 		},
-		Span: sp,
+		Stack: s.stack.String(),
+		Span:  sp,
 	})
 }
 
@@ -422,23 +438,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := batchResponse{Count: len(ks), Results: make([]batchResult, len(ks))}
 	switch {
 	case s.sh != nil:
-		for i, res := range s.sh.LookupBatch(ks) {
+		for i, res := range s.sh.LookupBatchStack(s.stack, ks) {
 			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
 		}
-	case s.cache == nil && s.rcache != nil:
-		// Result cache on: check a cache out of the pool for the whole batch,
-		// probe every key first, and resolve only the misses through the
-		// pipelined blocks (fills happen on the way out).
-		c := s.rcache.Get()
-		epoch := s.eng.CacheEpoch().Load()
-		for i, res := range s.eng.LookupBatchCachedMem(ks, nil, s.plain, c, epoch) {
-			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
-		}
-		s.rcache.Put(c)
 	case s.cache == nil:
-		// No simulated LRU to serialize against: take the engine's pipelined
-		// batch path, with DRAM traffic still tallied by the uncached model.
-		for i, res := range s.eng.LookupBatchMem(ks, nil, s.plain) {
+		// The unified batch stack. With the cache-probe plane in the served
+		// stack, a cache is checked out of the pool for the whole batch
+		// (probe every key, resolve only the misses through the pipelined
+		// blocks, fill on the way out); otherwise the uncached pipeline runs
+		// with DRAM traffic still tallied by the uncached model.
+		var c *lcache.Cache
+		var epoch uint64
+		if s.stack.Cached && s.rcache != nil {
+			c = s.rcache.Get()
+			defer s.rcache.Put(c)
+			epoch = s.eng.CacheEpoch().Load()
+		}
+		for i, res := range s.eng.LookupBatchStack(s.stack, ks, nil, s.plain, c, epoch) {
 			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
 		}
 	default:

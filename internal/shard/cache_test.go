@@ -123,7 +123,8 @@ func TestShardedLookupCachedOutcomes(t *testing.T) {
 // inserts, deletes, modifies, failed and successful commits, checking every
 // answer against a lockstep trie oracle — the sequential half of the
 // "0 oracle mismatches under updates" acceptance bar (the concurrent half is
-// TestConcurrentCachedReadersWithUpdates and FuzzCachedVsOracle).
+// TestConcurrentCachedReadersWithUpdates; the adversarial half is
+// planetest.FuzzStackVsOracle).
 func TestShardedUpdatableCachedSequentialStorm(t *testing.T) {
 	const width = 32
 	rs := randomRuleSet(t, width, 400, 51)
@@ -339,148 +340,4 @@ func TestConcurrentCachedReadersWithUpdates(t *testing.T) {
 	if hits.Load() == 0 {
 		t.Fatal("stress run produced zero cache hits — cached path not exercised")
 	}
-}
-
-// FuzzCachedVsOracle is the cached differential fuzz target (ISSUE 5):
-// arbitrary interleavings of lookups with inserts, deletes, modifies and
-// failed/successful commits — the latter injected through internal/fault —
-// must keep every CACHED answer (single-key and batch, first probe and
-// repeat probe) equal to the trie oracle over the logical rule-set.
-func FuzzCachedVsOracle(f *testing.F) {
-	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2, 0, 1, 2, 3, 4, 5, 6, 3, 0, 0, 0, 0, 0, 0, 0}, uint64(1), uint8(1))
-	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 3, 1, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0}, uint64(42), uint8(2))
-	f.Add([]byte{}, uint64(0), uint8(0))
-	f.Fuzz(func(t *testing.T, data []byte, keySeed uint64, shardSel uint8) {
-		const width = 32
-		split := len(data) / 2
-		base := deriveRules(width, data[:split])
-		rs, err := lpm.NewRuleSet(width, base)
-		if err != nil {
-			t.Fatalf("derived rule-set invalid: %v", err)
-		}
-		nShards := []int{2, 4, 8}[int(shardSel)%3]
-		in := fault.NewInjector(keySeed | 1)
-		cfg := core.Config{BucketSize: 8, Model: fuzzModel(), Fault: in.Hook()}
-		u, err := BuildUpdatable(rs, cfg, nShards, 0)
-		if err != nil {
-			t.Fatalf("BuildUpdatable(%d shards, %d rules): %v", nShards, rs.Len(), err)
-		}
-		u.EnableCache(lcache.MinBytes) // tiny tables: maximal eviction pressure
-
-		type ruleKey struct {
-			p keys.Value
-			l int
-		}
-		live := append([]lpm.Rule(nil), base...)
-		installed := map[ruleKey]bool{}
-		for _, r := range base {
-			installed[ruleKey{r.Prefix, r.Len}] = true
-		}
-		rng := rand.New(rand.NewSource(int64(keySeed)))
-		check := func(stage string) {
-			t.Helper()
-			set, err := lpm.NewRuleSet(width, append([]lpm.Rule(nil), live...))
-			if err != nil {
-				t.Fatalf("%s: model rule-set invalid: %v", stage, err)
-			}
-			oracle := lpm.NewTrieMatcher(set)
-			ks := make([]keys.Value, 0, 2*len(live)+16)
-			for _, r := range live {
-				ks = append(ks, r.Low(width), r.High(width))
-			}
-			for i := 0; i < 16; i++ {
-				ks = append(ks, keys.FromUint64(rng.Uint64()&(1<<width-1)))
-			}
-			// Batch with every key doubled: second occurrence exercises the
-			// intra-batch hit path under whatever the current epochs are.
-			batch := append(append([]keys.Value(nil), ks...), ks...)
-			res := u.LookupBatch(batch)
-			for i, k := range batch {
-				want, wantOK := oracle.Lookup(k)
-				if res[i].Matched != wantOK || (wantOK && res[i].Action != want) {
-					t.Fatalf("%s: batch[%d] key %v: (%d,%v), oracle (%d,%v)",
-						stage, i, k, res[i].Action, res[i].Matched, want, wantOK)
-				}
-			}
-			// Single-key cached path, twice per key (fill then hit).
-			for _, k := range ks {
-				want, wantOK := oracle.Lookup(k)
-				for pass := 0; pass < 2; pass++ {
-					got, ok, _ := u.LookupCached(k)
-					if ok != wantOK || (wantOK && got != want) {
-						t.Fatalf("%s: cached key %v pass %d: (%d,%v), oracle (%d,%v)",
-							stage, k, pass, got, ok, want, wantOK)
-					}
-				}
-			}
-		}
-
-		ops := data[split:]
-		for i, n := 0, 0; i+7 <= len(ops) && n < 12; i, n = i+7, n+1 {
-			switch ops[i] % 5 {
-			case 0: // insert a fresh rule
-				rr := deriveRules(width, ops[i+1:i+7])
-				if len(rr) == 0 || installed[ruleKey{rr[0].Prefix, rr[0].Len}] {
-					continue
-				}
-				r := rr[0]
-				if err := u.Insert(r); err != nil {
-					if errors.Is(err, core.ErrDeltaFull) {
-						continue
-					}
-					t.Fatalf("insert %v: %v", r, err)
-				}
-				installed[ruleKey{r.Prefix, r.Len}] = true
-				live = append(live, r)
-			case 1: // delete an installed rule
-				if len(live) == 0 {
-					continue
-				}
-				j := int(ops[i+1]) % len(live)
-				r := live[j]
-				if err := u.Delete(r.Prefix, r.Len); err != nil {
-					t.Fatalf("delete %v: %v", r, err)
-				}
-				delete(installed, ruleKey{r.Prefix, r.Len})
-				live = append(live[:j], live[j+1:]...)
-			case 2: // modify an installed rule's action
-				if len(live) == 0 {
-					continue
-				}
-				j := int(ops[i+1]) % len(live)
-				a := uint64(ops[i+2]) + 1
-				if err := u.ModifyAction(live[j].Prefix, live[j].Len, a); err != nil {
-					t.Fatalf("modify %v: %v", live[j], err)
-				}
-				live[j].Action = a
-			case 3: // failed commit of a dirty shard
-				s := int(ops[i+1]) % u.Shards()
-				if u.shards[s].PendingInserts() == 0 {
-					continue
-				}
-				in.FailNext(fault.SiteRetrain, 1)
-				err := u.Commit(s)
-				in.Clear(fault.SiteRetrain)
-				if !errors.Is(err, fault.ErrInjected) {
-					t.Fatalf("injected commit failure lost: %v", err)
-				}
-			case 4: // successful commit of a dirty shard
-				s := int(ops[i+1]) % u.Shards()
-				if u.shards[s].PendingInserts() == 0 {
-					continue
-				}
-				if err := u.Commit(s); err != nil {
-					t.Fatalf("commit shard %d: %v", s, err)
-				}
-			}
-			check(fmt.Sprintf("after op %d", i/7))
-		}
-		if err := u.CommitAll(); err != nil {
-			t.Fatalf("final CommitAll: %v", err)
-		}
-		check("after recovery")
-		if err := u.Close(); err != nil {
-			t.Fatalf("close: %v", err)
-		}
-	})
 }

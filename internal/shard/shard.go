@@ -16,9 +16,10 @@
 // Correctness is preserved by replication: a rule shorter than the shard
 // prefix is installed in every shard it covers (exactly like a route
 // replicated across SRAM banks), so each shard answers queries for its key
-// slice identically to the global engine. The differential fuzz target
-// FuzzShardedVsOracle and the full-keyspace metamorphic tests enforce the
-// CLAUDE.md invariant — sharded results equal the trie oracle on every key.
+// slice identically to the global engine. The parameterized differential
+// fuzz target planetest.FuzzStackVsOracle and the full-keyspace metamorphic
+// tests enforce the CLAUDE.md invariant — sharded results equal the trie
+// oracle on every key, across every stack configuration (DESIGN.md §14).
 package shard
 
 import (
@@ -27,10 +28,12 @@ import (
 	"strconv"
 	"sync"
 
+	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 	"neurolpm/internal/telemetry"
 )
 
@@ -198,37 +201,61 @@ func (r *router) ShardOf(k keys.Value) int {
 // Engine returns shard i's sub-engine (read-only use: stats, tracing).
 func (s *Sharded) Engine(i int) *core.Engine { return s.engines[i] }
 
-// Lookup routes k to its shard and returns the longest-prefix action.
+// Lookup routes k to its shard and returns the longest-prefix action. Like
+// every Lookup* variant it must answer exactly what the trie oracle answers
+// (the contract planetest's parameterized harness enforces across the full
+// stack matrix).
 func (s *Sharded) Lookup(k keys.Value) (uint64, bool) {
-	i := s.ShardOf(k)
-	s.loads[i].n.Add(1)
-	return s.engines[i].Lookup(k)
+	a, ok, _ := s.LookupStack(plane.StackConfig{}, k)
+	return a, ok
 }
 
-// LookupCached is Lookup through the result-cache plane, reporting how the
-// cache participated (lcache.None when the plane is disabled or bypassed).
-// The probing cache is checked out of the spare pool for the call, so it is
-// safe for concurrent use like Lookup.
+// LookupCached is LookupStack with the compiled+lcache configuration,
+// reporting how the cache participated (lcache.None when the plane is
+// disabled or bypassed).
 func (s *Sharded) LookupCached(k keys.Value) (uint64, bool, lcache.Outcome) {
+	return s.LookupStack(plane.StackConfig{Cached: true}, k)
+}
+
+// LookupStack routes k to its shard and answers through the stack selected
+// by st. Cached stacks check a probing cache out of the spare pool for the
+// call (degrading to uncached while the plane is disabled), so every
+// configuration is safe for concurrent use.
+func (s *Sharded) LookupStack(st plane.StackConfig, k keys.Value) (uint64, bool, lcache.Outcome) {
 	i := s.ShardOf(k)
 	s.loads[i].n.Add(1)
+	if !st.Cached {
+		return s.engines[i].LookupStack(st, k, nil)
+	}
 	c, spare := s.cacheFor(-1)
-	a, m, o := s.engines[i].LookupCached(k, c)
+	a, m, o := s.engines[i].LookupStack(st, k, c)
 	s.releaseCache(c, spare)
 	return a, m, o
 }
 
 // LookupBatch resolves a batch of keys, grouping them by shard and fanning
 // the groups out over the worker pool. Results are positional: out[i]
-// answers ks[i]. It is safe for concurrent use. Each shard's group runs
-// through the engine's pipelined batch path (core.Engine.LookupBatch) — with
-// the result-cache plane enabled, through the cached batch path on the
-// executing worker's private cache: probe all keys, infer only the misses.
+// answers ks[i]. It is safe for concurrent use, and it is LookupBatchStack
+// with the production configuration — compiled inference, probing the
+// result-cache plane when installed.
 func (s *Sharded) LookupBatch(ks []keys.Value) []Result {
+	return s.LookupBatchStack(plane.StackConfig{Cached: true}, ks)
+}
+
+// LookupBatchStack is the sharded batch executor: the shared shard-grouped
+// fan-out with each group answered through the engine-level batch stack for
+// st. Each shard's group runs through the pipelined (or reference) batch
+// path — for cached stacks on the executing worker's private cache: probe
+// all keys, infer only the misses.
+func (s *Sharded) LookupBatchStack(st plane.StackConfig, ks []keys.Value) []Result {
 	return s.lookupBatch(ks, func(shard, worker int, group []int32, out []Result) {
 		e := s.engines[shard]
-		c, spare := s.cacheFor(worker)
-		batchGroup(e, ks, group, out, c, e.CacheEpoch().Load())
+		var c *lcache.Cache
+		var spare bool
+		if st.Cached {
+			c, spare = s.cacheFor(worker)
+		}
+		batchGroup(st, e, ks, group, out, c, e.CacheEpoch().Load())
 		s.releaseCache(c, spare)
 	})
 }
@@ -243,10 +270,10 @@ type keyScratch struct {
 var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
 
 // batchGroup gathers one shard's keys contiguously, answers them through the
-// engine's batched lookup — cached when c is non-nil, at the epoch the
+// engine's batch stack for st — cached stacks probe c at the epoch the
 // caller loaded before any staleness checks — and scatters the results back
 // to their positions.
-func batchGroup(e *core.Engine, ks []keys.Value, group []int32, out []Result, c *lcache.Cache, epoch uint64) {
+func batchGroup(st plane.StackConfig, e *core.Engine, ks []keys.Value, group []int32, out []Result, c *lcache.Cache, epoch uint64) {
 	sc := keyScratchPool.Get().(*keyScratch)
 	if cap(sc.ks) < len(group) {
 		sc.ks = make([]keys.Value, len(group))
@@ -255,7 +282,7 @@ func batchGroup(e *core.Engine, ks []keys.Value, group []int32, out []Result, c 
 	for i, idx := range group {
 		gk[i] = ks[idx]
 	}
-	res := e.LookupBatchCached(gk, sc.res[:0], c, epoch)
+	res := e.LookupBatchStack(st, gk, sc.res[:0], cachesim.Null{}, c, epoch)
 	for i, idx := range group {
 		out[idx] = Result{Action: res[i].Action, Matched: res[i].Matched}
 	}

@@ -10,6 +10,7 @@ import (
 	"neurolpm/internal/keys"
 	"neurolpm/internal/lcache"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 )
 
 // ShardedUpdatable is the updatable sharded engine: each shard is a
@@ -86,22 +87,32 @@ func BuildUpdatable(rs *lpm.RuleSet, cfg core.Config, nShards, capacity int) (*S
 func (u *ShardedUpdatable) Engine(i int) *core.Engine { return u.shards[i].Engine() }
 
 // Lookup answers one key: the key's shard consults its delta buffer and its
-// engine, longest prefix wins.
+// engine, longest prefix wins. Like every Lookup* variant it must answer
+// exactly what a trie oracle over the installed+pending rules answers
+// (planetest's parameterized harness).
 func (u *ShardedUpdatable) Lookup(k keys.Value) (uint64, bool) {
-	i := u.ShardOf(k)
-	u.loads[i].n.Add(1)
-	return u.shards[i].Lookup(k)
+	a, ok, _ := u.LookupStack(plane.StackConfig{}, k)
+	return a, ok
 }
 
-// LookupCached is Lookup through the result-cache plane (a spare cache is
-// checked out for the call). Safe for concurrent use, including with
-// updates: the shard's epoch is loaded before its delta or engine is read,
-// so a fill can never pin a pre-update answer past the update.
+// LookupCached is LookupStack with the compiled+lcache configuration.
 func (u *ShardedUpdatable) LookupCached(k keys.Value) (uint64, bool, lcache.Outcome) {
+	return u.LookupStack(plane.StackConfig{Cached: true}, k)
+}
+
+// LookupStack routes k to its shard and answers it — delta overlay included
+// — through the stack selected by st. Cached stacks check a spare cache out
+// for the call. Safe for concurrent use, including with updates: the shard's
+// epoch is loaded before its delta or engine is read, so a fill can never
+// pin a pre-update answer past the update.
+func (u *ShardedUpdatable) LookupStack(st plane.StackConfig, k keys.Value) (uint64, bool, lcache.Outcome) {
 	i := u.ShardOf(k)
 	u.loads[i].n.Add(1)
+	if !st.Cached {
+		return u.shards[i].LookupStack(st, k, nil)
+	}
 	c, spare := u.cacheFor(-1)
-	a, m, o := u.shards[i].LookupCached(k, c)
+	a, m, o := u.shards[i].LookupStack(st, k, c)
 	u.releaseCache(c, spare)
 	return a, m, o
 }
@@ -118,18 +129,32 @@ func (u *ShardedUpdatable) LookupCached(k keys.Value) (uint64, bool, lcache.Outc
 // dead — closing the window where an engine-only answer computed before the
 // insert could be cached under the post-insert epoch.
 func (u *ShardedUpdatable) LookupBatch(ks []keys.Value) []Result {
+	return u.LookupBatchStack(plane.StackConfig{Cached: true}, ks)
+}
+
+// LookupBatchStack is the updatable sharded batch executor: the shared
+// fan-out with each clean shard's group answered through the engine-level
+// batch stack for st, and dirty shards (pending insertions) falling back to
+// the per-key overlay lookup on the same inference plane.
+func (u *ShardedUpdatable) LookupBatchStack(st plane.StackConfig, ks []keys.Value) []Result {
 	return u.lookupBatch(ks, func(shard, worker int, group []int32, out []Result) {
 		s := u.shards[shard]
-		c, spare := u.cacheFor(worker)
-		defer u.releaseCache(c, spare)
+		var c *lcache.Cache
+		var spare bool
+		if st.Cached {
+			c, spare = u.cacheFor(worker)
+			defer u.releaseCache(c, spare)
+		}
 		epoch := s.CacheEpoch().Load()
 		if s.PendingInserts() == 0 {
-			batchGroup(s.Engine(), ks, group, out, c, epoch)
+			batchGroup(st, s.Engine(), ks, group, out, c, epoch)
 			return
 		}
-		if c.Bypassed(len(group)) {
+		overlay := st
+		overlay.Cached = false
+		if !st.Cached || c.Bypassed(len(group)) {
 			for _, idx := range group {
-				out[idx].Action, out[idx].Matched = s.Lookup(ks[idx])
+				out[idx].Action, out[idx].Matched, _ = s.LookupStack(overlay, ks[idx], nil)
 			}
 			return
 		}
@@ -137,7 +162,7 @@ func (u *ShardedUpdatable) LookupBatch(ks []keys.Value) []Result {
 			k := ks[idx]
 			a, m, o := c.Get(k, epoch)
 			if o != lcache.Hit {
-				a, m = s.Lookup(k)
+				a, m, _ = s.LookupStack(overlay, k, nil)
 				c.Put(k, epoch, a, m)
 			}
 			out[idx] = Result{Action: a, Matched: m}
