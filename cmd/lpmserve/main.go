@@ -8,7 +8,14 @@
 //
 //	lpmserve -rules rules.txt -width 32 [-bucket 8] [-model model.bin]
 //	         [-addr :8080] [-sram MB] [-shards N] [-autocommit 100ms]
-//	         [-cache-bytes N] [-flight-sample N]
+//	         [-cache-bytes N] [-flight-sample N] [-inference compiled]
+//
+// -inference selects the arithmetic every query endpoint routes through:
+// "compiled" (default; the flat float32 plane), "quantized" (the int32
+// fixed-point shift-add plane, DESIGN.md §15 — same answers, smaller
+// coefficient bank), or "reference" (the Model's pointer-walking float path,
+// for differential debugging). /trace labels the inference stage after the
+// selected arm, so a span from a quantized server shows "quantized-inference".
 //
 // -cache-bytes N puts an epoch-invalidated hot-key result cache (DESIGN.md
 // §12) in front of the lookup pipeline: repeated keys answer from a
@@ -59,6 +66,7 @@ import (
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
 	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
 	"neurolpm/internal/rqrmi"
 	"neurolpm/internal/serve"
 	"neurolpm/internal/shard"
@@ -79,6 +87,7 @@ func main() {
 	drain := flag.Duration("drain", serve.DefaultDrainTimeout, "how long to let in-flight requests finish on SIGINT/SIGTERM")
 	cacheBytes := flag.Int("cache-bytes", 0, "hot-key result cache size in bytes per worker (0 = off)")
 	flightSample := flag.Uint64("flight-sample", telemetry.DefaultSampleEvery, "flight-recorder sampling rate: time 1 in N queries through the stage stack (rounded to a power of two; 0 = off)")
+	inference := flag.String("inference", "compiled", "inference plane: compiled, reference or quantized")
 	flag.Parse()
 
 	if *rulesPath == "" {
@@ -100,6 +109,14 @@ func main() {
 		srv, sh = buildSharded(rs, cfg, *shards, *autocommit, *staleBudget, *modelPath, *sramMB, *verify)
 	} else {
 		srv = buildSingle(rs, cfg, *modelPath, *sramMB, *verify)
+	}
+	inf, err := plane.ParseInference(*inference)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if inf != plane.Compiled {
+		srv.UseInference(inf)
+		fmt.Fprintf(os.Stderr, "lpmserve: serving through the %s inference plane\n", inf)
 	}
 	if *cacheBytes > 0 {
 		srv.UseResultCache(*cacheBytes)

@@ -88,12 +88,16 @@ type Engine struct {
 
 	// The compiled query plane (DESIGN.md §10): comp mirrors model + index
 	// in flat devirtualized storage and serves every hot lookup; the model
-	// remains the reference arithmetic (LookupReference, Verify). For
-	// bucketized engines of width ≤ 64, rangeLows64 additionally flattens
-	// the full range array's bounds — the DRAM bucket array — so the bucket
-	// scan compares bare uint64s. Both are immutable after build: updates
-	// re-own ranges or rewrite actions but never move a boundary.
+	// remains the reference arithmetic (LookupReference, Verify). quant is
+	// the int32 fixed-point re-encoding of the same model (DESIGN.md §15),
+	// carrying its own error bounds recomputed in the integer arithmetic —
+	// selected per lookup by plane.StackConfig.Inference. For bucketized
+	// engines of width ≤ 64, rangeLows64 additionally flattens the full
+	// range array's bounds — the DRAM bucket array — so the bucket scan
+	// compares bare uint64s. All are immutable after build: updates re-own
+	// ranges or rewrite actions but never move a boundary.
 	comp        *rqrmi.Compiled
+	quant       *rqrmi.Quantized
 	rangeLows64 []uint64
 
 	// epoch is the result-cache invalidation counter (DESIGN.md §12). Every
@@ -159,22 +163,35 @@ func Build(rs *lpm.RuleSet, cfg Config) (*Engine, error) {
 }
 
 // attachObservers creates the engine's drift meter and hotness sketch from
-// the compiled plane (bound) and learned-index geometry (bucket count; for
-// SRAM-only engines the "buckets" are the ranges themselves).
+// the query planes (probe ceiling) and learned-index geometry (bucket count;
+// for SRAM-only engines the "buckets" are the ranges themselves). The drift
+// bound is the max of the compiled and quantized ceilings, so the meter never
+// flags a healthy quantized lookup whose (slightly looser) integer bound
+// admits more probes than the float plane's.
 func (e *Engine) attachObservers(ix rqrmi.Index) {
 	e.drift = telemetry.NewDriftMeter()
-	e.drift.SetBound(e.comp.MaxErr())
+	bound := e.comp.MaxErr()
+	if qb := e.quant.MaxErr(); qb > bound {
+		bound = qb
+	}
+	e.drift.SetBound(bound)
 	e.hot = telemetry.NewHotSketch(ix.Len())
 }
 
 // compilePlane flattens the trained model and index into the compiled query
-// plane (plus the flat bucket-array bounds for bucketized ≤ 64-bit engines).
+// plane and its fixed-point re-encoding (plus the flat bucket-array bounds
+// for bucketized ≤ 64-bit engines).
 func (e *Engine) compilePlane(ix rqrmi.Index) error {
 	c, err := rqrmi.Compile(e.model, ix)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	e.comp = c
+	q, err := rqrmi.CompileQuantized(e.model, ix)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.quant = q
 	if e.dir != nil && e.width <= 64 {
 		e.rangeLows64 = make([]uint64, e.ra.Len())
 		for i := range e.rangeLows64 {
@@ -247,6 +264,9 @@ func (e *Engine) Model() *rqrmi.Model { return e.model }
 // Compiled exposes the flat query plane serving the hot lookup path.
 func (e *Engine) Compiled() *rqrmi.Compiled { return e.comp }
 
+// Quantized exposes the int32 fixed-point query plane (DESIGN.md §15).
+func (e *Engine) Quantized() *rqrmi.Quantized { return e.quant }
+
 // TrainStats returns statistics from the build's training phase.
 func (e *Engine) TrainStats() *rqrmi.Stats { return e.stats }
 
@@ -305,14 +325,45 @@ func (e *Engine) LookupMem(k keys.Value, mem cachesim.Mem) Trace {
 	return e.lookup(k, mem, nil)
 }
 
+// LookupMemInfer is LookupMem with an explicit inference plane: the compiled
+// float32 arm, the reference Model walk, or the quantized fixed-point arm.
+// All three obey the oracle-equivalence contract; only the inference
+// arithmetic and cost differ.
+func (e *Engine) LookupMemInfer(inf plane.Inference, k keys.Value, mem cachesim.Mem) Trace {
+	switch inf {
+	case plane.Reference:
+		return e.lookupReference(k, mem, nil)
+	case plane.Quantized:
+		return e.lookupQuantized(k, mem, nil)
+	default:
+		return e.lookup(k, mem, nil)
+	}
+}
+
 // LookupSpan executes the query while recording a fully-annotated span:
 // per-stage timings (inference → secondary search → bucket fetch), the
 // inference error bound, probe counts and DRAM traffic. It is the /trace
 // endpoint's implementation; the span costs clock reads and allocation, so
 // the plain Lookup paths pass a nil span instead.
 func (e *Engine) LookupSpan(k keys.Value, mem cachesim.Mem) (Trace, *telemetry.Span) {
+	return e.LookupSpanInfer(plane.Compiled, k, mem)
+}
+
+// LookupSpanInfer is LookupSpan with an explicit inference plane; the span's
+// first stage is labeled after the arm that ran ("inference",
+// "reference-inference" or "quantized-inference"), so /trace output
+// identifies the arithmetic that produced the prediction.
+func (e *Engine) LookupSpanInfer(inf plane.Inference, k keys.Value, mem cachesim.Mem) (Trace, *telemetry.Span) {
 	sp := telemetry.StartSpan("lookup")
-	tr := e.lookup(k, mem, sp)
+	var tr Trace
+	switch inf {
+	case plane.Reference:
+		tr = e.lookupReference(k, mem, sp)
+	case plane.Quantized:
+		tr = e.lookupQuantized(k, mem, sp)
+	default:
+		tr = e.lookup(k, mem, sp)
+	}
 	sp.Set("key", k.String())
 	sp.Set("predicted_index", tr.Prediction.Index)
 	sp.Set("error_bound", tr.Prediction.Err)
@@ -350,7 +401,29 @@ func (e *Engine) lookup(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trac
 	tr.Prediction = e.comp.Predict(k)
 	end()
 	fr.Stamp(plane.StageInference)
-	e.finish(k, &tr, mem, sp, false, n, fr)
+	e.finish(k, &tr, mem, sp, plane.Compiled, n, fr)
+	return tr
+}
+
+// lookupQuantized is the quantized-inference single-key arm: the same
+// instrumented pipeline as lookup, with prediction and bounded search running
+// the int32 fixed-point plane (and its own error bounds) instead of the
+// float32 one. It feeds the flight recorder like the compiled arm — both are
+// production planes; only the reference arm is excluded.
+func (e *Engine) lookupQuantized(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trace {
+	var tr Trace
+	n := metLookups.Inc()
+	var fr *telemetry.FlightRecord
+	if telemetry.Flight.HitN(n) {
+		var rec telemetry.FlightRecord
+		fr = &rec
+		fr.Begin(k.Hi, k.Lo)
+	}
+	end := sp.Stage("quantized-inference")
+	tr.Prediction = e.quant.Predict(k)
+	end()
+	fr.Stamp(plane.StageInference)
+	e.finish(k, &tr, mem, sp, plane.Quantized, n, fr)
 	return tr
 }
 
@@ -376,23 +449,27 @@ func (e *Engine) bucketScan(b int, k keys.Value) (idx, comparisons int) {
 }
 
 // finish runs the post-inference pipeline — secondary search, bucket fetch,
-// action resolution, telemetry — shared by the compiled single-key path,
-// the compiled batch path, and the reference path (reference=true routes the
-// search through the Model/Index arithmetic instead of the compiled plane;
-// the results are bit-identical, per Verify, only the cost differs).
-// tr.Prediction must already be populated; n is the caller's lookup-counter
-// tick (metLookups.Inc()) and fr the in-flight sample, nil for the other
-// 63-in-64 queries.
-func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry.Span, reference bool, n uint64, fr *telemetry.FlightRecord) {
+// action resolution, telemetry — shared by every inference arm, single-key
+// and batch. inf selects the bounded-search arithmetic matching the caller's
+// prediction: the search must consume the same plane's error bound it was
+// predicted under (quantized bounds cover quantized predictions, not float
+// ones), after which all three arms land on the identical true index — per
+// Verify — and share the rest of the pipeline. tr.Prediction must already be
+// populated; n is the caller's lookup-counter tick (metLookups.Inc()) and fr
+// the in-flight sample, nil for the other 63-in-64 queries.
+func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry.Span, inf plane.Inference, n uint64, fr *telemetry.FlightRecord) {
 	end := sp.Stage("secondary-search")
 	var b int
-	if reference {
+	switch inf {
+	case plane.Reference:
 		var ix rqrmi.Index = e.ra
 		if e.dir != nil {
 			ix = e.dir
 		}
 		b, tr.SRAMProbes = e.model.Search(ix, k, tr.Prediction)
-	} else {
+	case plane.Quantized:
+		b, tr.SRAMProbes = e.quant.Search(k, tr.Prediction)
+	default:
 		b, tr.SRAMProbes = e.comp.Search(k, tr.Prediction)
 	}
 	end()
@@ -406,7 +483,7 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 		mem.Read(addr, size)
 		tr.BucketRead = true
 		tr.DRAMBytes = size
-		if !reference && e.rangeLows64 != nil {
+		if inf != plane.Reference && e.rangeLows64 != nil {
 			tr.RangeIndex, cmp = e.bucketScan(b, k)
 		} else {
 			tr.RangeIndex, cmp = e.dir.Search(b, k)
@@ -457,19 +534,31 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 // cost differs, which is what the E23 reference-vs-compiled experiment
 // measures.
 func (e *Engine) LookupReference(k keys.Value) (action uint64, ok bool) {
-	tr := e.lookupReference(k, cachesim.Null{})
+	tr := e.lookupReference(k, cachesim.Null{}, nil)
+	return tr.Action, tr.Matched
+}
+
+// LookupQuantized answers k through the quantized-inference arm of the stack
+// executor: int32 shift-add inference and a bounded search driven by the
+// plane's own integer-arithmetic error bounds. It is LookupStack with the
+// quantized-uncached configuration and obeys the same oracle-equivalence
+// contract as Lookup — the E27 experiment measures the cost difference.
+func (e *Engine) LookupQuantized(k keys.Value) (action uint64, ok bool) {
+	tr := e.lookupQuantized(k, cachesim.Null{}, nil)
 	return tr.Action, tr.Matched
 }
 
 // lookupReference is the reference-inference single-key arm shared by
 // LookupReference, the stack executor and the reference batch plane.
-func (e *Engine) lookupReference(k keys.Value, mem cachesim.Mem) Trace {
+func (e *Engine) lookupReference(k keys.Value, mem cachesim.Mem, sp *telemetry.Span) Trace {
 	var tr Trace
 	n := metLookups.Inc()
+	end := sp.Stage("reference-inference")
 	tr.Prediction = e.model.Predict(k)
+	end()
 	// The reference path is for differential tests and E23 — it never feeds
-	// the flight recorder, whose records describe the production plane.
-	e.finish(k, &tr, mem, nil, true, n, nil)
+	// the flight recorder, whose records describe the production planes.
+	e.finish(k, &tr, mem, sp, plane.Reference, n, nil)
 	return tr
 }
 
@@ -504,10 +593,12 @@ func (e *Engine) LookupBatchMem(ks []keys.Value, out []BatchResult, mem cachesim
 
 // finishBatch runs the pipelined batch tail — blocked PredictBatch inference
 // plus the instrumented per-key finish — delivering ks[i]'s answer through
-// emit(i, result). It is the compiled inference plane of the batch stack
-// executor (stack.go): uncached stacks emit positionally, cached stacks
+// emit(i, result). It serves both pipelined inference planes of the batch
+// stack executor (stack.go) — inf selects the compiled or quantized
+// PredictBatch; the reference plane has no pipelined arm and loops the
+// single-key path instead. Uncached stacks emit positionally, cached stacks
 // scatter to the miss positions and fill the result cache.
-func (e *Engine) finishBatch(ks []keys.Value, mem cachesim.Mem, emit func(i int, r BatchResult)) {
+func (e *Engine) finishBatch(inf plane.Inference, ks []keys.Value, mem cachesim.Mem, emit func(i int, r BatchResult)) {
 	var preds [batchBlock]rqrmi.Prediction
 	for start := 0; start < len(ks); start += batchBlock {
 		n := len(ks) - start
@@ -515,7 +606,11 @@ func (e *Engine) finishBatch(ks []keys.Value, mem cachesim.Mem, emit func(i int,
 			n = batchBlock
 		}
 		blk := ks[start : start+n]
-		e.comp.PredictBatch(blk, preds[:n])
+		if inf == plane.Quantized {
+			e.quant.PredictBatch(blk, preds[:n])
+		} else {
+			e.comp.PredictBatch(blk, preds[:n])
+		}
 		for i := 0; i < n; i++ {
 			var tr Trace
 			tr.Prediction = preds[i]
@@ -529,7 +624,7 @@ func (e *Engine) finishBatch(ks []keys.Value, mem cachesim.Mem, emit func(i int,
 				// record times only the per-key tail (search onward).
 				fr.Batch = true
 			}
-			e.finish(blk[i], &tr, mem, nil, false, nq, fr)
+			e.finish(blk[i], &tr, mem, nil, inf, nq, fr)
 			emit(start+i, BatchResult{Action: tr.Action, Matched: tr.Matched})
 		}
 	}
@@ -685,6 +780,9 @@ func (e *Engine) Verify() error {
 	if err := e.verifyCompiled(ix); err != nil {
 		return err
 	}
+	if err := e.verifyQuantized(ix); err != nil {
+		return err
+	}
 	liveRules := make([]lpm.Rule, 0, e.rules.Len())
 	for i, r := range e.rules.Rules {
 		if e.live[i].Load() {
@@ -710,6 +808,14 @@ func (e *Engine) Verify() error {
 		if refOK != gotOK || refGot != got {
 			return fmt.Errorf("core: compiled/reference divergence at %v: compiled (%d,%v) reference (%d,%v)",
 				k, got, gotOK, refGot, refOK)
+		}
+		// The quantized arm carries different intermediate predictions but
+		// must land on the same end-to-end answer (bound-inclusion makes the
+		// bounded search exact; verifyQuantized checks the inclusion itself).
+		qTr := e.lookupQuantized(k, cachesim.Null{}, nil)
+		if qTr.Matched != gotOK || (gotOK && qTr.Action != got) {
+			return fmt.Errorf("core: compiled/quantized divergence at %v: compiled (%d,%v) quantized (%d,%v)",
+				k, got, gotOK, qTr.Action, qTr.Matched)
 		}
 	}
 	return nil
@@ -743,6 +849,56 @@ func (e *Engine) verifyCompiled(ix rqrmi.Index) error {
 			if im != ic || probesM != probesC {
 				return fmt.Errorf("core: compiled Search(%v) = (%d,%d), reference (%d,%d)",
 					k, ic, probesC, im, probesM)
+			}
+		}
+		buf = buf[:0]
+		return nil
+	}
+	for i := 0; i < ix.Len(); i++ {
+		b := ix.Low(i)
+		buf = append(buf, b)
+		if !b.IsZero() {
+			buf = append(buf, b.Dec())
+		}
+		if b.Less(dom.Max()) {
+			buf = append(buf, b.Inc())
+		}
+		if len(buf)+3 > cap(buf) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// verifyQuantized sweeps the same boundary±1 key set as verifyCompiled, but
+// the quantized contract is bound-inclusion, not bit-identity: the integer
+// prediction may differ from the float one, yet its own stored error bound
+// must cover the true index (so the bounded search is exact), the search must
+// land on that index, and the pipelined batch arm must match the single-key
+// arm bit for bit.
+func (e *Engine) verifyQuantized(ix rqrmi.Index) error {
+	dom := keys.NewDomain(e.width)
+	buf := make([]keys.Value, 0, 3*batchBlock)
+	preds := make([]rqrmi.Prediction, 3*batchBlock)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		e.quant.PredictBatch(buf, preds[:len(buf)])
+		for i, k := range buf {
+			pq := e.quant.Predict(k)
+			if preds[i] != pq {
+				return fmt.Errorf("core: quantized PredictBatch(%v) = %+v, single %+v", k, preds[i], pq)
+			}
+			truth := rqrmi.Find(ix, k)
+			if d := pq.Index - truth; d > pq.Err || -d > pq.Err {
+				return fmt.Errorf("core: quantized bound violated at %v: index %d err %d truth %d",
+					k, pq.Index, pq.Err, truth)
+			}
+			if iq, _ := e.quant.Search(k, pq); iq != truth {
+				return fmt.Errorf("core: quantized Search(%v) = %d, truth %d", k, iq, truth)
 			}
 		}
 		buf = buf[:0]

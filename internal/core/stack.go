@@ -12,8 +12,8 @@ import (
 
 // This file is the stack executor (DESIGN.md §14): the one implementation of
 // the composable lookup-plane pipeline — optional result-cache probe →
-// inference (compiled or reference) → bounded secondary search → bucket
-// fetch — that every exported Lookup* entry point wraps with a constant
+// inference (compiled, reference or quantized) → bounded secondary search →
+// bucket fetch — that every exported Lookup* entry point wraps with a constant
 // plane.StackConfig. The per-plane arms (lookup, lookupReference,
 // finishBatch, the cached probe/fill bodies below) are the same out-of-line
 // functions the pre-stack entry points compiled to, so dispatching on a
@@ -30,8 +30,12 @@ func (e *Engine) LookupStack(st plane.StackConfig, k keys.Value, c *lcache.Cache
 	}
 	// Branch straight to the inference arm (no lookupInfer hop): single-key
 	// stack dispatch stays one call frame over the inlined Lookup wrapper.
-	if st.Inference == plane.Reference {
-		tr := e.lookupReference(k, cachesim.Null{})
+	switch st.Inference {
+	case plane.Reference:
+		tr := e.lookupReference(k, cachesim.Null{}, nil)
+		return tr.Action, tr.Matched, lcache.None
+	case plane.Quantized:
+		tr := e.lookupQuantized(k, cachesim.Null{}, nil)
 		return tr.Action, tr.Matched, lcache.None
 	}
 	tr := e.lookup(k, cachesim.Null{}, nil)
@@ -41,8 +45,11 @@ func (e *Engine) LookupStack(st plane.StackConfig, k keys.Value, c *lcache.Cache
 // lookupInfer is the uncached single-key spine: run the st-selected inference
 // plane and the shared post-inference tail, returning the full trace.
 func (e *Engine) lookupInfer(inf plane.Inference, k keys.Value, mem cachesim.Mem) Trace {
-	if inf == plane.Reference {
-		return e.lookupReference(k, mem)
+	switch inf {
+	case plane.Reference:
+		return e.lookupReference(k, mem, nil)
+	case plane.Quantized:
+		return e.lookupQuantized(k, mem, nil)
 	}
 	return e.lookup(k, mem, nil)
 }
@@ -104,18 +111,18 @@ func (e *Engine) LookupBatchStack(st plane.StackConfig, ks []keys.Value, out []B
 	return out
 }
 
-// runBatch is the inference plane of the batch stack — compiled pipelined
-// blocks or per-key reference arithmetic — driving the shared instrumented
-// tail and delivering ks[i]'s answer through emit(i, result).
+// runBatch is the inference plane of the batch stack — compiled or quantized
+// pipelined blocks, or per-key reference arithmetic — driving the shared
+// instrumented tail and delivering ks[i]'s answer through emit(i, result).
 func (e *Engine) runBatch(inf plane.Inference, ks []keys.Value, mem cachesim.Mem, emit func(i int, r BatchResult)) {
 	if inf == plane.Reference {
 		for i, k := range ks {
-			tr := e.lookupReference(k, mem)
+			tr := e.lookupReference(k, mem, nil)
 			emit(i, BatchResult{Action: tr.Action, Matched: tr.Matched})
 		}
 		return
 	}
-	e.finishBatch(ks, mem, emit)
+	e.finishBatch(inf, ks, mem, emit)
 }
 
 // missScratch carries one batch's miss gather buffers; pooled so concurrent

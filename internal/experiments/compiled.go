@@ -9,16 +9,18 @@ import (
 	"neurolpm/internal/workload"
 )
 
-// CompiledCell is one row of E23, the compiled-query-plane speedup
-// experiment: the same engine queried through the reference path
-// (Model.Predict's pointer-chasing LUT walk + interface-dispatched bounded
-// search), the compiled single-key path, and the compiled batch path.
+// CompiledCell is one row of E23/E27, the query-plane speedup experiment:
+// the same engine queried through the reference path (Model.Predict's
+// pointer-chasing LUT walk + interface-dispatched bounded search), the
+// compiled float32 paths, and the quantized int32 fixed-point paths
+// (single-key and software-pipelined batch for both hot planes).
 type CompiledCell struct {
-	Path       string // "reference", "compiled", "compiled-batch"
+	Path       string // "reference", "compiled", "compiled-batch", "quantized", "quantized-batch"
 	BatchSize  int    // 1 for the single-key paths
 	MLookupsPS float64
 	Speedup    float64 // vs the reference row
 	Mismatches int     // disagreements with the trie oracle (must be 0)
+	BankBytes  int     // inference coefficient-bank footprint; 0 for reference
 }
 
 // CompiledBatchSize is E23's batch unit, matching the sharded fan-out unit
@@ -55,12 +57,15 @@ func CompiledSpeedup(sc Scale) ([]CompiledCell, error) {
 		}
 	}
 
-	// All three rows run the unified stack executor (DESIGN.md §14): Lookup
+	// All five rows run the unified stack executor (DESIGN.md §14): Lookup
 	// and LookupReference are the stack's inlined single-key entry points
-	// (the zero and reference StackConfigs), and the batch row dispatches on
-	// an explicit config through LookupBatchStack — the same arm every batch
-	// wrapper reaches.
+	// (the zero and reference StackConfigs), the quantized rows dispatch on
+	// the quantized StackConfig, and the batch rows go through
+	// LookupBatchStack — the same arm every batch wrapper reaches.
 	compStack := plane.StackConfig{}
+	quantStack := plane.StackConfig{Inference: plane.Quantized}
+	compBank := eng.Compiled().BankBytes()
+	quantBank := eng.Quantized().BankBytes()
 
 	ref := CompiledCell{Path: "reference", BatchSize: 1}
 	for i, k := range trace {
@@ -68,13 +73,13 @@ func CompiledSpeedup(sc Scale) ([]CompiledCell, error) {
 		check(i, a, ok, &ref)
 	}
 
-	single := CompiledCell{Path: "compiled", BatchSize: 1}
+	single := CompiledCell{Path: "compiled", BatchSize: 1, BankBytes: compBank}
 	for i, k := range trace {
 		a, ok := eng.Lookup(k)
 		check(i, a, ok, &single)
 	}
 
-	batch := CompiledCell{Path: "compiled-batch", BatchSize: CompiledBatchSize}
+	batch := CompiledCell{Path: "compiled-batch", BatchSize: CompiledBatchSize, BankBytes: compBank}
 	var out []core.BatchResult
 	for lo := 0; lo < len(trace); lo += CompiledBatchSize {
 		hi := min(lo+CompiledBatchSize, len(trace))
@@ -84,7 +89,22 @@ func CompiledSpeedup(sc Scale) ([]CompiledCell, error) {
 		}
 	}
 
-	// Drift-immune rates: the three variants interleave rounds and keep each
+	qsingle := CompiledCell{Path: "quantized", BatchSize: 1, BankBytes: quantBank}
+	for i, k := range trace {
+		a, ok := eng.LookupQuantized(k)
+		check(i, a, ok, &qsingle)
+	}
+
+	qbatch := CompiledCell{Path: "quantized-batch", BatchSize: CompiledBatchSize, BankBytes: quantBank}
+	for lo := 0; lo < len(trace); lo += CompiledBatchSize {
+		hi := min(lo+CompiledBatchSize, len(trace))
+		out = eng.LookupBatchStack(quantStack, trace[lo:hi], out[:0], cachesim.Null{}, nil, 0)
+		for i, res := range out {
+			check(lo+i, res.Action, res.Matched, &qbatch)
+		}
+	}
+
+	// Drift-immune rates: the five variants interleave rounds and keep each
 	// one's best, so the speedup ratios survive thermal/background drift.
 	rates := measureRatesInterleaved(trace, []func([]keys.Value){
 		func(ks []keys.Value) {
@@ -102,30 +122,60 @@ func CompiledSpeedup(sc Scale) ([]CompiledCell, error) {
 				out = eng.LookupBatchStack(compStack, ks[lo:min(lo+CompiledBatchSize, len(ks))], out[:0], cachesim.Null{}, nil, 0)
 			}
 		},
+		func(ks []keys.Value) {
+			for _, k := range ks {
+				eng.LookupQuantized(k)
+			}
+		},
+		func(ks []keys.Value) {
+			for lo := 0; lo < len(ks); lo += CompiledBatchSize {
+				out = eng.LookupBatchStack(quantStack, ks[lo:min(lo+CompiledBatchSize, len(ks))], out[:0], cachesim.Null{}, nil, 0)
+			}
+		},
 	})
 	ref.MLookupsPS, single.MLookupsPS, batch.MLookupsPS = rates[0], rates[1], rates[2]
+	qsingle.MLookupsPS, qbatch.MLookupsPS = rates[3], rates[4]
 	ref.Speedup = 1
 	single.Speedup = single.MLookupsPS / ref.MLookupsPS
 	batch.Speedup = batch.MLookupsPS / ref.MLookupsPS
+	qsingle.Speedup = qsingle.MLookupsPS / ref.MLookupsPS
+	qbatch.Speedup = qbatch.MLookupsPS / ref.MLookupsPS
 
-	return []CompiledCell{ref, single, batch}, nil
+	return []CompiledCell{ref, single, batch, qsingle, qbatch}, nil
 }
 
-// CompiledSpeedupTable renders E23.
+// CompiledSpeedupTable renders E23/E27.
 func CompiledSpeedupTable(cells []CompiledCell) *Table {
 	t := &Table{
-		Title:  "Compiled query plane: flat inference + devirtualized search vs reference path (ripe workload)",
-		Header: []string{"path", "batch", "Mlookups/s", "speedup", "oracle mismatches"},
+		Title:  "Query planes: compiled float32 and quantized int32 fixed-point vs reference path (ripe workload)",
+		Header: []string{"path", "batch", "Mlookups/s", "speedup", "oracle mismatches", "coeff bank B"},
 		Notes: []string{
-			"same engine, same trace: only the query arithmetic's layout differs",
-			"results are bit-identical by construction (FuzzCompiledVsModel, Engine.Verify); mismatches must be 0",
-			"compiled-batch software-pipelines inference across keys (Compiled.PredictBatch)",
+			"same engine, same trace: only the query arithmetic differs",
+			"compiled is bit-identical to reference (FuzzCompiledVsModel, Engine.Verify); quantized is",
+			"bound-included (FuzzQuantizedVsModel): its int32 bounds cover its int32 predictions, so the",
+			"bounded search lands on the same true index — mismatches must be 0 on every row",
+			"batch rows software-pipeline inference across keys (PredictBatch)",
 		},
 	}
+	var compBank, quantBank int
 	for _, c := range cells {
+		bank := "-"
+		if c.BankBytes > 0 {
+			bank = fi(c.BankBytes)
+		}
+		switch c.Path {
+		case "compiled":
+			compBank = c.BankBytes
+		case "quantized":
+			quantBank = c.BankBytes
+		}
 		t.Rows = append(t.Rows, []string{
-			c.Path, fi(c.BatchSize), f2(c.MLookupsPS), f2(c.Speedup), fi(c.Mismatches),
+			c.Path, fi(c.BatchSize), f2(c.MLookupsPS), f2(c.Speedup), fi(c.Mismatches), bank,
 		})
+	}
+	if compBank > 0 && quantBank > 0 {
+		t.Notes = append(t.Notes, "quantized bank is "+f2(float64(quantBank)/float64(compBank))+
+			"x the float32 bank (int16 coefficients; target <= 0.60x)")
 	}
 	return t
 }

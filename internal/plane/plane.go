@@ -2,7 +2,8 @@
 //
 // A NeuroLPM lookup is a pipeline of planes: an optional result-cache probe
 // (internal/lcache), an inference plane predicting the range index (the
-// reference RQRMI model or its compiled flat form, internal/rqrmi), a bounded
+// reference RQRMI model, its compiled float32 flat form, or the int32
+// fixed-point quantized form, internal/rqrmi), a bounded
 // secondary search, and — for bucketized engines — one DRAM bucket fetch.
 // Earlier PRs grew one hand-wired method per plane combination; this package
 // collapses the combination space into a value, StackConfig, that the single
@@ -12,13 +13,17 @@
 // the same hot paths as before — zero-overhead is a hard requirement, guarded
 // by TestCacheOffBatchOverheadGuard and `lpmbench -guard`.
 //
-// The full test matrix — {single, sharded} × {reference, compiled} ×
-// {cached, uncached} — is enumerated by Combos; internal/planetest runs one
+// The full test matrix — {single, sharded} × {compiled, reference,
+// quantized} × {cached, uncached} — is enumerated by Combos; internal/planetest runs one
 // differential fuzz + metamorphic suite over it, so every combination (and
 // every future plane) gets trie-oracle coverage without its own harness.
 package plane
 
-import "neurolpm/internal/telemetry"
+import (
+	"fmt"
+
+	"neurolpm/internal/telemetry"
+)
 
 // Inference selects the inference plane of the stack: which arithmetic
 // predicts the range index before the bounded secondary search.
@@ -26,21 +31,50 @@ type Inference uint8
 
 const (
 	// Compiled runs the devirtualized flat-storage RQRMI plane
-	// (rqrmi.Compiled) — the production hot path. Bit-identical to
-	// Reference by construction (rqrmi.FuzzCompiledVsModel).
+	// (rqrmi.Compiled) — the float32 production hot path. Bit-identical
+	// to Reference by construction (rqrmi.FuzzCompiledVsModel).
 	Compiled Inference = iota
 	// Reference runs the pointer-walking rqrmi.Model arithmetic — the
 	// plane the error-bound analysis is stated against.
 	Reference
+	// Quantized runs the int32 fixed-point shift-add plane
+	// (rqrmi.Quantized): no float ops, half the coefficient bank. Its
+	// error bounds are recomputed in the same integer arithmetic
+	// (bound-inclusion, not bit-identity — DESIGN.md §15), so the bounded
+	// search still lands on exactly the true index for every key
+	// (rqrmi.FuzzQuantizedVsModel).
+	Quantized
+
+	// NumInference bounds the enum; every variant below it must have an
+	// entry in inferenceNames (TestInferenceStringExhaustive).
+	NumInference
 )
+
+var inferenceNames = [NumInference]string{
+	Compiled:  "compiled",
+	Reference: "reference",
+	Quantized: "quantized",
+}
 
 // String returns the stable spelling used in test names, /trace output and
 // experiment tables.
 func (i Inference) String() string {
-	if i == Reference {
-		return "reference"
+	if i < NumInference && inferenceNames[i] != "" {
+		return inferenceNames[i]
 	}
-	return "compiled"
+	return fmt.Sprintf("inference(%d)", uint8(i))
+}
+
+// ParseInference maps a stable spelling ("compiled", "reference",
+// "quantized") back to its variant — the inverse of String, used by
+// command-line flags.
+func ParseInference(s string) (Inference, error) {
+	for i := Inference(0); i < NumInference; i++ {
+		if inferenceNames[i] == s {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("plane: unknown inference plane %q (want one of %v)", s, inferenceNames)
 }
 
 // StackConfig selects one lookup-plane stack. The zero value is the
@@ -80,7 +114,7 @@ func (t Topology) String() string {
 	return "single"
 }
 
-// Combo is one cell of the full 2×2×2 matrix.
+// Combo is one cell of the full 2×3×2 matrix.
 type Combo struct {
 	Topology Topology
 	Stack    StackConfig
@@ -89,18 +123,20 @@ type Combo struct {
 // String returns e.g. "sharded/compiled+lcache".
 func (c Combo) String() string { return c.Topology.String() + "/" + c.Stack.String() }
 
-// Matrix enumerates the four stack configurations.
+// Matrix enumerates the six stack configurations: every inference plane,
+// uncached then cached.
 func Matrix() []StackConfig {
-	return []StackConfig{
-		{Inference: Compiled},
-		{Inference: Reference},
-		{Inference: Compiled, Cached: true},
-		{Inference: Reference, Cached: true},
+	out := make([]StackConfig, 0, 2*NumInference)
+	for _, cached := range []bool{false, true} {
+		for i := Inference(0); i < NumInference; i++ {
+			out = append(out, StackConfig{Inference: i, Cached: cached})
+		}
 	}
+	return out
 }
 
-// Combos enumerates all eight {single,sharded}×{reference,compiled}×
-// {cached,uncached} combinations.
+// Combos enumerates all twelve {single,sharded}×{compiled,reference,
+// quantized}×{cached,uncached} combinations.
 func Combos() []Combo {
 	var out []Combo
 	for _, topo := range []Topology{Single, Sharded} {

@@ -94,7 +94,7 @@ func FuzzStackVsOracle(f *testing.F) {
 			}
 		}
 
-		// Fresh: both topologies serve the base rule-set — the full 8-combo
+		// Fresh: both topologies serve the base rule-set — the full 12-combo
 		// matrix checks against one oracle.
 		baseOracle := lpm.NewTrieMatcher(rs)
 		freshKeys := Corpus(width, base, 64, rng)
@@ -168,12 +168,13 @@ func FuzzStackVsOracle(f *testing.F) {
 					t.Fatalf("commit shard %d: %v", s, err)
 				}
 			}
-			rotating := ShardedCombos()[n%4 : n%4+1]
+			sc := ShardedCombos()
+			rotating := sc[n%len(sc) : n%len(sc)+1]
 			shardedCheck(fmt.Sprintf("after op %d", i/7), rotating)
 		}
 
 		// Single-engine tombstone delete (the §6.5 no-retrain path): re-check
-		// all four single stacks against an oracle over the survivors.
+		// all six single stacks against an oracle over the survivors.
 		if len(base) >= 2 {
 			doomed := base[int(keySeed)%len(base)]
 			if err := eng.Delete(doomed.Prefix, doomed.Len); err != nil {

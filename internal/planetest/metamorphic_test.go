@@ -14,8 +14,8 @@ import (
 // TestStackMetamorphic checks oracle-free invariants of the lookup-plane
 // matrix: with both topologies serving the same rule-set,
 //
-//  1. all eight (topology, stack) combos answer every key identically —
-//     reference ≡ compiled, cached ≡ uncached, single ≡ sharded;
+//  1. all twelve (topology, stack) combos answer every key identically —
+//     reference ≡ compiled ≡ quantized, cached ≡ uncached, single ≡ sharded;
 //  2. the batch entry point equals the single-key entry point, pointwise;
 //  3. batch answers are invariant under permutation of the key slice;
 //  4. duplicating every key yields pairwise-identical answers (the second

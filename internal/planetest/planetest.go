@@ -15,9 +15,11 @@
 //     and update interleavings — with commit failures injected through
 //     internal/fault — and checks every stack configuration against the
 //     oracle after every step.
-//   - TestStackMetamorphic — oracle-free cross-variant properties: all eight
-//     combos agree with each other, batches equal single-key answers, and
-//     batch answers are invariant under permutation, duplication and repeat.
+//   - TestStackMetamorphic — oracle-free cross-variant properties: all twelve
+//     combos ({single,sharded} × {compiled,reference,quantized} ×
+//     {cached,uncached}) agree with each other, batches equal single-key
+//     answers, and batch answers are invariant under permutation, duplication
+//     and repeat.
 //   - TestLookupEntryPointsEquivalent — every exported lookup entry point on
 //     a shared workload-calibrated corpus (hits and misses) versus the trie
 //     oracle.
@@ -135,10 +137,10 @@ type Result struct {
 	Matched bool
 }
 
-// SingleCombos returns the plane.Single half of the matrix (4 stacks).
+// SingleCombos returns the plane.Single half of the matrix (6 stacks).
 func SingleCombos() []plane.Combo { return topologyCombos(plane.Single) }
 
-// ShardedCombos returns the plane.Sharded half of the matrix (4 stacks).
+// ShardedCombos returns the plane.Sharded half of the matrix (6 stacks).
 func ShardedCombos() []plane.Combo { return topologyCombos(plane.Sharded) }
 
 func topologyCombos(tp plane.Topology) []plane.Combo {

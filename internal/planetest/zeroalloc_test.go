@@ -63,3 +63,61 @@ func TestCachedBatchZeroAllocs(t *testing.T) {
 		t.Errorf("miss-fill cached batch allocates %.2f/op, want 0", avg)
 	}
 }
+
+// TestQuantizedZeroAllocs pins the quantized inference arm at zero
+// steady-state allocations through every stack shape it serves: the uncached
+// single-key arm, the pipelined uncached batch arm, and the cached-batch
+// miss-fill arm (where quantized runBatch fills the misses). The fixed-point
+// plane must not cost heap traffic the float plane doesn't.
+func TestQuantizedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; strict zero-alloc pin runs in the non-race suite")
+	}
+	const width = 32
+	rules := RandomRules(width, 400, 93)
+	rs, err := lpm.NewRuleSet(width, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(rs, core.Config{BucketSize: 8, Model: QuickModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plane.StackConfig{Inference: plane.Quantized}
+
+	ks := make([]keys.Value, 256)
+	for i := range ks {
+		ks[i] = rules[(i*7)%len(rules)].Low(width)
+	}
+	out := make([]core.BatchResult, len(ks))
+
+	single := func() {
+		for _, k := range ks[:64] {
+			eng.LookupStack(st, k, nil)
+		}
+	}
+	single()
+	if avg := testing.AllocsPerRun(50, single); avg > 0 {
+		t.Errorf("quantized single-key lookup allocates %.2f/64 keys, want 0", avg)
+	}
+
+	batch := func() {
+		out = eng.LookupBatchStack(st, ks, out[:0], cachesim.Null{}, nil, 0)
+	}
+	batch()
+	if avg := testing.AllocsPerRun(50, batch); avg > 0 {
+		t.Errorf("quantized uncached batch allocates %.2f/op, want 0", avg)
+	}
+
+	cache := lcache.New(64 << 10)
+	cst := plane.StackConfig{Inference: plane.Quantized, Cached: true}
+	missRun := func() {
+		eng.CacheEpoch().Bump()
+		epoch := eng.CacheEpoch().Load()
+		out = eng.LookupBatchStack(cst, ks, out[:0], cachesim.Null{}, cache, epoch)
+	}
+	missRun()
+	if avg := testing.AllocsPerRun(50, missRun); avg > 0 {
+		t.Errorf("quantized miss-fill cached batch allocates %.2f/op, want 0", avg)
+	}
+}

@@ -11,9 +11,13 @@ import (
 // computed *exactly*, for every possible input, by examining only segment
 // knots and range boundaries — no sweep over the input domain is needed.
 //
-// All evaluations below run the same float32 LUT arithmetic as query-time
-// inference (LUT.Eval + scaleClamp), so the derived responsibilities and
-// error bounds hold for the deployed engine bit-for-bit.
+// All evaluations below run the same arithmetic as query-time inference —
+// float32 (LUT.Eval + scaleClamp) for the reference/compiled planes,
+// int32 fixed-point (Quantized.eval + clampStage) for the quantized plane —
+// so the derived responsibilities and error bounds hold for the deployed
+// engine bit-for-bit. The traversal logic (knot splitting, monotone
+// transition search, endpoint maximization) is shared via partitionBy /
+// errorBoundBy; only the split and evaluate closures differ per plane.
 
 // interval is an inclusive key interval [Lo, Hi].
 type interval struct {
@@ -52,16 +56,15 @@ func splitAtKnots(width int, l *LUT, iv interval) []interval {
 	return pieces
 }
 
-// partition splits the given responsibility intervals of a submodel by the
-// slot its output routes to (slot = scaleClamp(Eval(u), n)) and returns the
-// intervals owned by each of the n next-stage submodels. Within a linear
-// segment the routing function is monotone, so every transition is located
-// with a key-space binary search against the real inference arithmetic.
-func partition(width int, l *LUT, n int, ivs []interval) [][]interval {
+// partitionBy is the arithmetic-neutral core of responsibility routing:
+// split carves an interval into pieces that each lie within one linear
+// segment of whatever evaluator route wraps, and route maps a key to its
+// next-stage slot. The only property required is that route is monotone
+// (non-strictly — integer plateaus are fine) within each split piece; the
+// transition search below tolerates plateaus by treating any overshoot
+// past rA in the search direction as still-rA.
+func partitionBy(split func(interval) []interval, route func(keys.Value) int, n int, ivs []interval) [][]interval {
 	out := make([][]interval, n)
-	route := func(k keys.Value) int {
-		return scaleClamp(l.Eval(unitOf(width, k)), n)
-	}
 	assign := func(slot int, iv interval) {
 		// Merge with the previous interval when contiguous.
 		if m := len(out[slot]); m > 0 && out[slot][m-1].Hi.Inc() == iv.Lo {
@@ -71,7 +74,7 @@ func partition(width int, l *LUT, n int, ivs []interval) [][]interval {
 		out[slot] = append(out[slot], iv)
 	}
 	for _, iv := range ivs {
-		for _, piece := range splitAtKnots(width, l, iv) {
+		for _, piece := range split(iv) {
 			a := piece.Lo
 			rA := route(a)
 			for {
@@ -89,7 +92,7 @@ func partition(width int, l *LUT, n int, ivs []interval) [][]interval {
 					r := route(mid)
 					same := r == rA
 					if !same && ((ascending && r < rA) || (!ascending && r > rA)) {
-						same = true // float plateaus cannot occur, but stay safe
+						same = true // plateau safety (quantized plateaus are real)
 					}
 					if same {
 						lo = mid
@@ -106,16 +109,24 @@ func partition(width int, l *LUT, n int, ivs []interval) [][]interval {
 	return out
 }
 
-// errorBound computes the exact maximum of |prediction − true index| over
-// every key in the submodel's responsibility. Within one linear segment the
-// prediction is monotone while the true index is a step function changing
-// only at entry lower bounds, so the maximum over each (segment ∩ entry)
-// piece is attained at its two endpoints.
-func errorBound(width int, l *LUT, ix Index, ivs []interval) int32 {
+// partition splits the given responsibility intervals of a submodel by the
+// slot its output routes to (slot = scaleClamp(Eval(u), n)) and returns the
+// intervals owned by each of the n next-stage submodels, in the float32
+// reference arithmetic.
+func partition(width int, l *LUT, n int, ivs []interval) [][]interval {
+	return partitionBy(
+		func(iv interval) []interval { return splitAtKnots(width, l, iv) },
+		func(k keys.Value) int { return scaleClamp(l.Eval(unitOf(width, k)), n) },
+		n, ivs)
+}
+
+// errorBoundBy is the arithmetic-neutral core of the error-bound
+// computation: the exact maximum of |pred − true index| over every key in
+// ivs. Within one split piece pred is monotone while the true index is a
+// step function changing only at entry lower bounds, so the maximum over
+// each (piece ∩ entry) sub-piece is attained at its two endpoints.
+func errorBoundBy(split func(interval) []interval, pred func(keys.Value) int, ix Index, ivs []interval) int32 {
 	n := ix.Len()
-	pred := func(k keys.Value) int {
-		return scaleClamp(l.Eval(unitOf(width, k)), n)
-	}
 	maxErr := 0
 	note := func(k keys.Value, truth int) {
 		d := pred(k) - truth
@@ -127,7 +138,7 @@ func errorBound(width int, l *LUT, ix Index, ivs []interval) int32 {
 		}
 	}
 	for _, iv := range ivs {
-		for _, piece := range splitAtKnots(width, l, iv) {
+		for _, piece := range split(iv) {
 			r := Find(ix, piece.Lo)
 			start := piece.Lo
 			for {
@@ -146,6 +157,96 @@ func errorBound(width int, l *LUT, ix Index, ivs []interval) int32 {
 		}
 	}
 	return int32(maxErr)
+}
+
+// errorBound computes the exact maximum of |prediction − true index| over
+// every key in the submodel's responsibility, in the float32 reference
+// arithmetic (Train stores this as LUT.Err).
+func errorBound(width int, l *LUT, ix Index, ivs []interval) int32 {
+	n := ix.Len()
+	return errorBoundBy(
+		func(iv interval) []interval { return splitAtKnots(width, l, iv) },
+		func(k keys.Value) int { return scaleClamp(l.Eval(unitOf(width, k)), n) },
+		ix, ivs)
+}
+
+// splitAtKnots is the quantized analogue of the float splitAtKnots: it
+// partitions iv into pieces that each map into a single linear segment of
+// submodel id's int16 block. Because the quantized segment select compares
+// the key's top 15 bits against Q0.15 knots, each boundary — the largest
+// key whose top-15-bit coordinate does not exceed the knot — is computed
+// directly (no binary search): for width ≥ 15 it is (knot+1)·2^(width−15)−1,
+// below 15 the knot truncated back down to the key width. The knotMax
+// padding never splits anything (uh ≤ knotMax means the break fires first),
+// exactly like the float plane's +Inf pads.
+func (q *Quantized) splitAtKnots(id int, iv interval) []interval {
+	knots := q.bank[id<<blockShift : id<<blockShift+padKnots]
+	pieces := make([]interval, 0, padKnots+1)
+	lo := iv.Lo
+	uHi := q.unit(iv.Hi) >> (unitBits - knotBits)
+	for _, kn := range knots {
+		knq := int32(kn)
+		if uHi <= knq {
+			break // the rest of the interval is below this knot
+		}
+		if q.unit(lo)>>(unitBits-knotBits) > knq {
+			continue // this knot is below the remaining interval
+		}
+		var b keys.Value
+		if q.width >= knotBits {
+			b = keys.FromUint64(uint64(knq) + 1).Shl(uint(q.width - knotBits)).Dec()
+		} else {
+			b = keys.FromUint64(uint64(knq) >> uint(knotBits-q.width))
+		}
+		pieces = append(pieces, interval{Lo: lo, Hi: b})
+		lo = b.Inc()
+	}
+	pieces = append(pieces, interval{Lo: lo, Hi: iv.Hi})
+	return pieces
+}
+
+// analyze recomputes every final-stage error bound in the quantized
+// arithmetic: the same responsibility propagation as Model.Verify — full
+// domain through partitionBy stage by stage, then errorBoundBy per final
+// submodel — but with every evaluation running the deployed integer hot
+// path (unit, eval, clampStage). This is the CLAUDE.md contract applied to
+// the new arithmetic: bounds are only valid for the arithmetic that
+// computed them, so the quantized plane carries its own.
+func (q *Quantized) analyze(ix Index) {
+	dom := keys.NewDomain(q.width)
+	stageResp := [][]interval{{{Lo: keys.Value{}, Hi: dom.Max()}}}
+	last := len(q.stages) - 1
+	for s := 0; s < last; s++ {
+		st := &q.stages[s]
+		n := int(q.stages[s+1].width)
+		next := make([][]interval, n)
+		for j, ivs := range stageResp {
+			if len(ivs) == 0 {
+				continue
+			}
+			id := int(st.base) + j
+			parts := partitionBy(
+				func(iv interval) []interval { return q.splitAtKnots(id, iv) },
+				func(k keys.Value) int { return clampStage(st, q.eval(st, id, q.unit(k)), n) },
+				n, ivs)
+			for t := range parts {
+				next[t] = append(next[t], parts[t]...)
+			}
+		}
+		stageResp = next
+	}
+	st := &q.stages[last]
+	for j := 0; j < int(st.width); j++ {
+		id := int(st.base) + j
+		if len(stageResp[j]) == 0 {
+			q.errs[id] = 0 // unreachable submodel: no key routes here
+			continue
+		}
+		q.errs[id] = errorBoundBy(
+			func(iv interval) []interval { return q.splitAtKnots(id, iv) },
+			func(k keys.Value) int { return clampStage(st, q.eval(st, id, q.unit(k)), q.n) },
+			ix, stageResp[j])
+	}
 }
 
 // Verify exhaustively re-checks the model's error bounds against the index

@@ -7,11 +7,12 @@ import (
 	"neurolpm/internal/keys"
 )
 
-// Micro-benchmarks isolating the compiled plane's two wins: flat
+// Micro-benchmarks isolating the compiled plane's two wins — flat
 // coefficient banks for inference and devirtualized bounds for the
-// secondary search. Run with -bench=Predict\|Search -benchmem.
+// secondary search — plus the quantized plane's fixed-point arithmetic
+// against both. Run with -bench=Predict\|Search -benchmem.
 
-func benchModel(b *testing.B, n int) (*Model, *Compiled, Index, []keys.Value) {
+func benchModel(b *testing.B, n int) (*Model, *Compiled, *Quantized, Index, []keys.Value) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(3))
 	ix := skewedIndex(rng, 32, n)
@@ -23,16 +24,20 @@ func benchModel(b *testing.B, n int) (*Model, *Compiled, Index, []keys.Value) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	q, err := CompileQuantized(m, ix)
+	if err != nil {
+		b.Fatal(err)
+	}
 	dom := keys.NewDomain(32)
 	ks := make([]keys.Value, 4096)
 	for i := range ks {
 		ks[i] = dom.FromUnit(rng.Float64())
 	}
-	return m, c, ix, ks
+	return m, c, q, ix, ks
 }
 
 func BenchmarkPredictReference(b *testing.B) {
-	m, _, _, ks := benchModel(b, 4000)
+	m, _, _, _, ks := benchModel(b, 4000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -41,7 +46,7 @@ func BenchmarkPredictReference(b *testing.B) {
 }
 
 func BenchmarkPredictCompiled(b *testing.B) {
-	_, c, _, ks := benchModel(b, 4000)
+	_, c, _, _, ks := benchModel(b, 4000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -50,7 +55,7 @@ func BenchmarkPredictCompiled(b *testing.B) {
 }
 
 func BenchmarkPredictBatchCompiled(b *testing.B) {
-	_, c, _, ks := benchModel(b, 4000)
+	_, c, _, _, ks := benchModel(b, 4000)
 	out := make([]Prediction, len(ks))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -60,7 +65,7 @@ func BenchmarkPredictBatchCompiled(b *testing.B) {
 }
 
 func BenchmarkSearchReference(b *testing.B) {
-	m, c, ix, ks := benchModel(b, 4000)
+	m, c, _, ix, ks := benchModel(b, 4000)
 	preds := make([]Prediction, len(ks))
 	c.PredictBatch(ks, preds)
 	b.ReportAllocs()
@@ -71,7 +76,7 @@ func BenchmarkSearchReference(b *testing.B) {
 }
 
 func BenchmarkSearchDevirtualized(b *testing.B) {
-	_, c, _, ks := benchModel(b, 4000)
+	_, c, _, _, ks := benchModel(b, 4000)
 	preds := make([]Prediction, len(ks))
 	c.PredictBatch(ks, preds)
 	b.ReportAllocs()
@@ -82,10 +87,49 @@ func BenchmarkSearchDevirtualized(b *testing.B) {
 }
 
 func BenchmarkLookupCompiled(b *testing.B) {
-	_, c, _, ks := benchModel(b, 4000)
+	_, c, _, _, ks := benchModel(b, 4000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Lookup(ks[i&4095])
+	}
+}
+
+func BenchmarkPredictQuantized(b *testing.B) {
+	_, _, q, _, ks := benchModel(b, 4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Predict(ks[i&4095])
+	}
+}
+
+func BenchmarkPredictBatchQuantized(b *testing.B) {
+	_, _, q, _, ks := benchModel(b, 4000)
+	out := make([]Prediction, len(ks))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(ks) {
+		q.PredictBatch(ks, out)
+	}
+}
+
+func BenchmarkSearchQuantized(b *testing.B) {
+	_, _, q, _, ks := benchModel(b, 4000)
+	preds := make([]Prediction, len(ks))
+	q.PredictBatch(ks, preds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Search(ks[i&4095], preds[i&4095])
+	}
+}
+
+func BenchmarkLookupQuantized(b *testing.B) {
+	_, _, q, _, ks := benchModel(b, 4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Lookup(ks[i&4095])
 	}
 }

@@ -156,11 +156,18 @@ func (c *Compiled) Len() int { return c.n }
 // banks plus the flat bounds copy. (The bounds mirror SRAM the hardware
 // already holds once; software pays it twice for devirtualization.)
 func (c *Compiled) SizeBytes() int {
-	coeff := 4 * (len(c.bank) + len(c.errs))
+	coeff := c.BankBytes()
 	if c.lows64 != nil {
 		return coeff + 8*len(c.lows64)
 	}
 	return coeff + 16*len(c.lows)
+}
+
+// BankBytes is the coefficient-bank footprint alone (float32 banks + the
+// per-submodel error bounds) — the baseline E27's shrink ratio is stated
+// against.
+func (c *Compiled) BankBytes() int {
+	return 4 * (len(c.bank) + len(c.errs))
 }
 
 // MaxErr returns the largest final-stage error bound — the compiled plane's

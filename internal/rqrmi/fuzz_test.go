@@ -36,13 +36,15 @@ func FuzzReadModel(f *testing.F) {
 	})
 }
 
-// fuzzPlane is one trained model + compiled plane pair shared across fuzz
-// iterations (training once per process keeps the fuzz loop fast).
+// fuzzPlane is one trained model plus its compiled and quantized planes,
+// shared across fuzz iterations (training once per process keeps the fuzz
+// loop fast).
 type fuzzPlane struct {
 	width int
 	ix    Index
 	m     *Model
 	c     *Compiled
+	q     *Quantized
 }
 
 var (
@@ -63,7 +65,11 @@ func getFuzzPlanes(t testing.TB) []fuzzPlane {
 			if err != nil {
 				t.Fatalf("width %d: %v", w, err)
 			}
-			fuzzPlanes = append(fuzzPlanes, fuzzPlane{width: w, ix: ix, m: m, c: c})
+			q, err := CompileQuantized(m, ix)
+			if err != nil {
+				t.Fatalf("width %d: %v", w, err)
+			}
+			fuzzPlanes = append(fuzzPlanes, fuzzPlane{width: w, ix: ix, m: m, c: c, q: q})
 		}
 	})
 	return fuzzPlanes
@@ -107,4 +113,61 @@ func FuzzCompiledVsModel(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzQuantizedVsModel is the quantized plane's bound-inclusion enforcement
+// (CLAUDE.md, DESIGN.md §15). The int32 arithmetic is NOT bit-identical to
+// the float planes — rounded coefficients move predictions — so the contract
+// is the one the bounded search actually needs: for every key, the stored
+// quantized error bound covers the quantized prediction's distance from the
+// true index, and therefore Search/Lookup land on exactly the index the
+// reference model finds. The batch arm must still be bit-identical to the
+// quantized single-key arm.
+func FuzzQuantizedVsModel(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(1)<<31)
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(1), uint64(0))
+	f.Add(uint64(0), uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, hi, lo uint64) {
+		for _, p := range getFuzzPlanes(t) {
+			k := keys.FromParts(hi, lo)
+			if p.width <= 64 {
+				k = keys.FromUint64(lo)
+				if p.width < 64 {
+					k = keys.FromUint64(lo & (1<<uint(p.width) - 1))
+				}
+			}
+			truth := Find(p.ix, k)
+			pq := p.q.Predict(k)
+			if d := pq.Index - truth; d > pq.Err || -d > pq.Err {
+				t.Fatalf("width %d Predict(%v): quantized index %d err %d does not cover truth %d",
+					p.width, k, pq.Index, pq.Err, truth)
+			}
+			iq, probes := p.q.Search(k, pq)
+			if iq != truth {
+				t.Fatalf("width %d Search(%v) = %d, want true index %d", p.width, k, iq, truth)
+			}
+			if probes > 3+2*bitsLen(2*pq.Err) {
+				t.Fatalf("width %d Search(%v): %d probes for err %d", p.width, k, probes, pq.Err)
+			}
+			if im, _ := p.m.Lookup(p.ix, k); im != iq {
+				t.Fatalf("width %d Lookup(%v): quantized %d, model %d", p.width, k, iq, im)
+			}
+			var one [1]Prediction
+			p.q.PredictBatch([]keys.Value{k}, one[:])
+			if one[0] != pq {
+				t.Fatalf("width %d PredictBatch(%v) = %+v, want %+v", p.width, k, one[0], pq)
+			}
+		}
+	})
+}
+
+func bitsLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
 }

@@ -120,6 +120,10 @@ func (s *Server) registerSingleObserverGauges() {
 	s.reg.GaugeVec("neurolpm_bucket_hotness_skew",
 		"Fraction of sampled bucket accesses landing in the hottest 10% of buckets (decaying window)", "shard").
 		Set("0", func() float64 { return s.eng.HotSketch().Skew() })
+	bank := s.reg.GaugeVec("neurolpm_inference_bank_bytes",
+		"Coefficient-bank bytes of each inference plane (float32 compiled vs int16 quantized)", "plane")
+	bank.Set("compiled", func() float64 { return float64(s.eng.Compiled().BankBytes()) })
+	bank.Set("quantized", func() float64 { return float64(s.eng.Quantized().BankBytes()) })
 }
 
 // width returns the served key bit width in either mode.
@@ -135,6 +139,16 @@ func (s *Server) width() int {
 func (s *Server) UseCache(c *cachesim.Cache) {
 	s.cache = c
 	c.Register(s.reg, "neurolpm_serve_cache")
+}
+
+// UseInference selects the inference plane every query endpoint routes
+// through (the -inference flag): the compiled float32 plane (default), the
+// reference Model arithmetic, or the quantized int32 fixed-point plane
+// (DESIGN.md §15). Call before serving traffic; /trace labels the inference
+// stage after the selected arm and neurolpm_build_info carries the stack.
+func (s *Server) UseInference(inf plane.Inference) {
+	s.stack.Inference = inf
+	s.SetInfo("stack", s.stack.String())
 }
 
 // UseResultCache enables the hot-key result cache (the -cache-bytes flag):
@@ -184,21 +198,22 @@ func (s *Server) cachedLookup(k keys.Value) (core.Trace, lcache.Outcome) {
 	return tr, o
 }
 
-// read routes one query's DRAM traffic through the configured memory model.
+// read routes one query's DRAM traffic through the configured memory model
+// and its inference through the stack's selected plane.
 func (s *Server) lookup(k keys.Value, traced bool) (core.Trace, *telemetry.Span) {
 	if s.cache != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if traced {
-			tr, sp := s.eng.LookupSpan(k, s.cache)
+			tr, sp := s.eng.LookupSpanInfer(s.stack.Inference, k, s.cache)
 			return tr, sp
 		}
-		return s.eng.LookupMem(k, s.cache), nil
+		return s.eng.LookupMemInfer(s.stack.Inference, k, s.cache), nil
 	}
 	if traced {
-		return s.eng.LookupSpan(k, s.plain)
+		return s.eng.LookupSpanInfer(s.stack.Inference, k, s.plain)
 	}
-	return s.eng.LookupMem(k, s.plain), nil
+	return s.eng.LookupMemInfer(s.stack.Inference, k, s.plain), nil
 }
 
 // Handler returns the full mux: /lookup, /batch, /trace, /metrics, /slo,
@@ -347,7 +362,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		// Span the key's sub-engine directly; the delta-buffer overlay is
 		// not part of the traced hardware path.
-		tr, sp = s.sh.Engine(s.sh.ShardOf(k)).LookupSpan(k, s.plain)
+		tr, sp = s.sh.Engine(s.sh.ShardOf(k)).LookupSpanInfer(s.stack.Inference, k, s.plain)
 	} else {
 		if s.rcache != nil {
 			_, o := s.cachedLookup(k)
