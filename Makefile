@@ -30,7 +30,7 @@ bench-smoke:
 # -compact keeps the committed file diffable (no timestamps, one line per
 # table row).
 bench-json:
-	$(GO) run ./cmd/lpmbench -json BENCH_PR8.json -compact
+	$(GO) run ./cmd/lpmbench -json BENCH_PR9.json -compact
 
 # The flight-recorder & SLO plane experiment (E26): sampling overhead,
 # quantile fidelity, drift and hotness sanity (DESIGN.md §13).
@@ -61,10 +61,10 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzQuantizedVsModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzStackVsOracle -fuzztime $(FUZZTIME) ./internal/planetest
 
-# E23 + E25 quick on the unified stack, compared against the committed
-# baseline: any speedup ratio regressing by more than 3% fails.
+# E23 + E25 + E28 quick on the unified stack, compared against the
+# committed baseline: any ratio regressing by more than 3% fails.
 bench-guard:
-	$(GO) run ./cmd/lpmbench -guard BENCH_PR8.json
+	$(GO) run ./cmd/lpmbench -guard BENCH_PR9.json
 
 ci: build vet race smoke bench-smoke bench-guard slo
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

@@ -98,8 +98,11 @@ func (g guardRow) verdict() (string, bool) {
 // co-tenant — fails the guard. Oracle mismatches fail immediately.
 const guardAttempts = 3
 
-// guardMeasure runs E23 + E25 once and returns one guardRow per table row.
-func guardMeasure(sc experiments.Scale, compBase, cacheBase map[string]float64) ([]guardRow, error) {
+// guardMeasure runs E23 + E25 + E28 once and returns one guardRow per table
+// row. E28 contributes two ratio sets (fast-tier saving, p99 headroom) from
+// its deterministic rows only — the sketch row rides the 1:64 hotness
+// sampling phase and would flake any fixed tolerance.
+func guardMeasure(sc experiments.Scale, compBase, cacheBase, tierFastBase, tierP99Base map[string]float64) ([]guardRow, error) {
 	var rows []guardRow
 	comp, err := experiments.CompiledSpeedup(sc)
 	if err != nil {
@@ -117,11 +120,23 @@ func guardMeasure(sc experiments.Scale, compBase, cacheBase map[string]float64) 
 		key := fmt.Sprintf("%s/%d", c.Workload, c.CacheKB)
 		rows = append(rows, guardRow{"cache", key, cacheBase[key], c.Speedup, c.Mismatches})
 	}
+	tiered, err := experiments.Tiered(sc)
+	if err != nil {
+		return nil, fmt.Errorf("E28: %w", err)
+	}
+	for _, c := range tiered {
+		if !c.Deterministic {
+			continue
+		}
+		rows = append(rows,
+			guardRow{"tier-fast", c.Config, tierFastBase[c.Config], c.FastSavingX, c.Mismatches},
+			guardRow{"tier-p99", c.Config, tierP99Base[c.Config], c.HeadroomX, c.Mismatches})
+	}
 	return rows, nil
 }
 
-// runGuard reruns E23 and E25 at quick scale through the unified plane-stack
-// entry points and compares every speedup ratio against the baseline.
+// runGuard reruns E23, E25 and E28 at quick scale through the unified
+// plane-stack entry points and compares every ratio against the baseline.
 func runGuard(sc experiments.Scale, path string) error {
 	compBase, err := baselineSpeedups(path, "compiled", []int{0, 1}, 3)
 	if err != nil {
@@ -131,12 +146,21 @@ func runGuard(sc experiments.Scale, path string) error {
 	if err != nil {
 		return err
 	}
+	// E28 columns: 3 = fast saving x, 6 = p99 headroom x (see TieredTable).
+	tierFastBase, err := baselineSpeedups(path, "tiered", []int{0}, 3)
+	if err != nil {
+		return err
+	}
+	tierP99Base, err := baselineSpeedups(path, "tiered", []int{0}, 6)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("# unified-stack bench guard vs %s (tolerance %.0f%%, up to %d attempts)\n",
 		path, 100*guardTolerance, guardAttempts)
 	var best []guardRow
 	for attempt := 1; attempt <= guardAttempts; attempt++ {
-		rows, err := guardMeasure(sc, compBase, cacheBase)
+		rows, err := guardMeasure(sc, compBase, cacheBase, tierFastBase, tierP99Base)
 		if err != nil {
 			return err
 		}

@@ -11,7 +11,7 @@
 // Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
 // worstcase binsearch bitwidth updates scaling headline modelsize tss dram
 // replicas designspace worstbw emexpand sharded compiled faults cache
-// observe all
+// observe tiered all
 //
 // -json writes every experiment's table plus a headline Lookup
 // microbenchmark (ns/op, allocs/op) as machine-readable JSON, so the perf
@@ -22,10 +22,11 @@
 // -metrics serves /metrics and /debug/pprof while the run is in flight.
 //
 // -guard is the unified-stack bench gate (CI's bench-smoke job): it reruns
-// E23 (compiled speedup) and E25 (hot-key cache) at quick scale — both now
-// routed through the plane-stack executor — and compares every speedup
-// ratio against the named baseline JSON. Ratios compare machine-portably
-// where absolute rates don't; any ratio regressing by more than 3%, or any
+// E23 (compiled speedup), E25 (hot-key cache) and E28's deterministic rows
+// (tiered-store fast-tier saving and p99 headroom) at quick scale — all
+// routed through the plane-stack executor — and compares every ratio
+// against the named baseline JSON. Ratios compare machine-portably where
+// absolute rates don't; any ratio regressing by more than 3%, or any
 // oracle mismatch, exits nonzero.
 package main
 
@@ -141,7 +142,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write results as machine-readable JSON to this file")
 	compact := flag.Bool("compact", false, "with -json: summary-only deterministic shape (no timestamp/elapsed, one line per table row)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address while running")
-	guardPath := flag.String("guard", "", "rerun E23+E25 quick and fail if any speedup ratio regresses >3% vs this baseline JSON")
+	guardPath := flag.String("guard", "", "rerun E23+E25+E28 quick and fail if any ratio regresses >3% vs this baseline JSON")
 	flag.Parse()
 
 	if *guardPath != "" {
@@ -351,12 +352,19 @@ func main() {
 			}
 			return experiments.ObserveTable(r), nil
 		},
+		"tiered": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Tiered(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.TieredTable(r), nil
+		},
 	}
 	order := []string{
 		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
 		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
 		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
-		"sharded", "compiled", "faults", "cache", "observe",
+		"sharded", "compiled", "faults", "cache", "observe", "tiered",
 	}
 
 	names := order

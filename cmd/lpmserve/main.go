@@ -9,6 +9,15 @@
 //	lpmserve -rules rules.txt -width 32 [-bucket 8] [-model model.bin]
 //	         [-addr :8080] [-sram MB] [-shards N] [-autocommit 100ms]
 //	         [-cache-bytes N] [-flight-sample N] [-inference compiled]
+//	         [-cold-tier] [-tier-interval 1s]
+//
+// -cold-tier enables the two-tier bucket store (DESIGN.md §16): a background
+// rebalancer demotes buckets the hotness sketch stopped seeing to a simulated
+// slow tier and promotes them back on access bursts, keeping the fast tier's
+// footprint proportional to the working set instead of the rule count.
+// /metrics reports residency (neurolpm_tier_resident_buckets,
+// neurolpm_tier_fast_bytes) and migration/cold-fetch counters
+// (neurolpm_tier_{promotions,demotions,cold_fetches}_total).
 //
 // -inference selects the arithmetic every query endpoint routes through:
 // "compiled" (default; the flat float32 plane), "quantized" (the int32
@@ -71,6 +80,7 @@ import (
 	"neurolpm/internal/serve"
 	"neurolpm/internal/shard"
 	"neurolpm/internal/telemetry"
+	"neurolpm/internal/tier"
 )
 
 func main() {
@@ -88,6 +98,8 @@ func main() {
 	cacheBytes := flag.Int("cache-bytes", 0, "hot-key result cache size in bytes per worker (0 = off)")
 	flightSample := flag.Uint64("flight-sample", telemetry.DefaultSampleEvery, "flight-recorder sampling rate: time 1 in N queries through the stage stack (rounded to a power of two; 0 = off)")
 	inference := flag.String("inference", "compiled", "inference plane: compiled, reference or quantized")
+	coldTier := flag.Bool("cold-tier", false, "enable the two-tier bucket store: cold buckets demote to a simulated slow tier, a background rebalancer migrates on hotness (DESIGN.md §16)")
+	tierInterval := flag.Duration("tier-interval", time.Second, "tier rebalance interval (requires -cold-tier)")
 	flag.Parse()
 
 	if *rulesPath == "" {
@@ -103,6 +115,12 @@ func main() {
 	}
 
 	cfg := core.Config{BucketSize: *bucket, Model: rqrmi.DefaultConfig()}
+	if *coldTier {
+		if *bucket < 2 || rs.Width > 64 {
+			fatal("-cold-tier needs a bucketized engine of width ≤ 64 (-bucket ≥ 2)")
+		}
+		cfg.Tier = tier.Config{Enabled: true}
+	}
 	var srv *serve.Server
 	var sh *shard.ShardedUpdatable
 	if *shards > 0 {
@@ -121,6 +139,11 @@ func main() {
 	if *cacheBytes > 0 {
 		srv.UseResultCache(*cacheBytes)
 		fmt.Fprintf(os.Stderr, "lpmserve: hot-key result cache enabled (%d bytes per worker)\n", *cacheBytes)
+	}
+	if *coldTier {
+		srv.StartTierRebalancer(*tierInterval)
+		srv.SetInfo("cold_tier", "1")
+		fmt.Fprintf(os.Stderr, "lpmserve: cold tier enabled, rebalancing every %v\n", *tierInterval)
 	}
 	telemetry.Flight.SetSampleEvery(*flightSample)
 	srv.SetInfo("rules", fmt.Sprint(rs.Len()))

@@ -28,6 +28,7 @@ import (
 	"neurolpm/internal/ranges"
 	"neurolpm/internal/rqrmi"
 	"neurolpm/internal/telemetry"
+	"neurolpm/internal/tier"
 )
 
 // Config configures an engine build.
@@ -45,6 +46,10 @@ type Config struct {
 	// nil-check per commit/insert. The hook rides Config so engine
 	// rebuilds (InsertBatch → Build) inherit it automatically.
 	Fault fault.Hook
+	// Tier enables the two-tier bucket store (DESIGN.md §16) for bucketized
+	// engines of width ≤ 64. Like Fault it rides Config so rebuilds inherit
+	// it; a rebuilt engine starts all-fast and re-learns placement.
+	Tier tier.Config
 }
 
 // DefaultConfig returns the paper's evaluated configuration: 32-byte buckets
@@ -99,6 +104,11 @@ type Engine struct {
 	comp        *rqrmi.Compiled
 	quant       *rqrmi.Quantized
 	rangeLows64 []uint64
+
+	// tiers is the two-tier bucket placement map (DESIGN.md §16), non-nil
+	// only when cfg.Tier enables it on a bucketized ≤ 64-bit engine. The
+	// disabled configuration pays a single nil check per bucket fetch.
+	tiers *tier.Store
 
 	// epoch is the result-cache invalidation counter (DESIGN.md §12). Every
 	// post-build mutation — tombstone Delete, ModifyAction — bumps it, and
@@ -197,6 +207,9 @@ func (e *Engine) compilePlane(ix rqrmi.Index) error {
 		for i := range e.rangeLows64 {
 			e.rangeLows64[i] = e.ra.Entries[i].Low.Lo
 		}
+		if e.cfg.Tier.Enabled {
+			e.tiers = tier.New(e.rangeLows64, e.dir.K, e.ra.BytesPerEntry(), e.cfg.Tier)
+		}
 	}
 	return nil
 }
@@ -277,6 +290,27 @@ func (e *Engine) DriftMeter() *telemetry.DriftMeter { return e.drift }
 // HotSketch exposes the engine's decaying bucket-hotness sketch.
 func (e *Engine) HotSketch() *telemetry.HotSketch { return e.hot }
 
+// TierStore exposes the two-tier bucket placement map, or nil when the
+// engine is untiered (SRAM-only, width > 64, or cfg.Tier disabled).
+func (e *Engine) TierStore() *tier.Store { return e.tiers }
+
+// RebalanceTier runs one tier placement pass driven by the engine's hotness
+// sketch (demotions) and the store's burst counters (promotions), then
+// publishes any migration through the per-shard cache epoch: a placement
+// change is an engine-state change, so cached planes re-probe instead of
+// trusting entries filled under the previous tier map. No-op (0,0) on
+// untiered engines.
+func (e *Engine) RebalanceTier() (promoted, demoted int) {
+	if e.tiers == nil {
+		return 0, 0
+	}
+	promoted, demoted = e.tiers.Rebalance(e.hot)
+	if promoted+demoted > 0 {
+		e.epoch.Bump()
+	}
+	return promoted, demoted
+}
+
 // SetShardID tags the engine's flight records with its shard index (the
 // sharded router calls this at build; rebuilds inherit it via InsertBatch).
 func (e *Engine) SetShardID(id int) { e.shardID = int32(id) }
@@ -312,6 +346,7 @@ type Trace struct {
 	Prediction rqrmi.Prediction
 	SRAMProbes int  // secondary-search probes into the RQ Array (SRAM)
 	BucketRead bool // whether a DRAM bucket fetch was needed
+	ColdRead   bool // the bucket fetch was served from the slow tier (§16)
 	DRAMBytes  int  // bytes requested from DRAM (before caching)
 	RangeIndex int  // resolved index in the full range array
 	Action     uint64
@@ -370,6 +405,7 @@ func (e *Engine) LookupSpanInfer(inf plane.Inference, k keys.Value, mem cachesim
 	sp.Set("submodel", tr.Prediction.Submodel)
 	sp.Set("sram_probes", tr.SRAMProbes)
 	sp.Set("bucket_read", tr.BucketRead)
+	sp.Set("cold_read", tr.ColdRead)
 	sp.Set("dram_bytes", tr.DRAMBytes)
 	sp.Set("range_index", tr.RangeIndex)
 	sp.Set("matched", tr.Matched)
@@ -483,7 +519,26 @@ func (e *Engine) finish(k keys.Value, tr *Trace, mem cachesim.Mem, sp *telemetry
 		mem.Read(addr, size)
 		tr.BucketRead = true
 		tr.DRAMBytes = size
-		if inf != plane.Reference && e.rangeLows64 != nil {
+		// Tiered engines route the fetch through the placement map first: a
+		// cold bucket resolves against its slow-tier copy (same bounds, same
+		// scan, so the answer is identical — only the charged latency and the
+		// tier counters differ), still exactly one bucket fetch per query.
+		// All three inference arms share the routing; bounds are immutable,
+		// so a migration racing this lookup cannot change the result.
+		if t := e.tiers; t != nil {
+			kk := k.Lo
+			if k.Hi != 0 {
+				kk = ^uint64(0) // out-of-domain key: above every ≤ 64-bit bound
+			}
+			if idx, c, cold := t.Fetch(b, kk); cold {
+				tr.RangeIndex, cmp = idx, c
+				tr.ColdRead = true
+			} else if inf != plane.Reference {
+				tr.RangeIndex, cmp = e.bucketScan(b, k)
+			} else {
+				tr.RangeIndex, cmp = e.dir.Search(b, k)
+			}
+		} else if inf != plane.Reference && e.rangeLows64 != nil {
 			tr.RangeIndex, cmp = e.bucketScan(b, k)
 		} else {
 			tr.RangeIndex, cmp = e.dir.Search(b, k)

@@ -574,3 +574,48 @@ func TestCacheHotKey(t *testing.T) {
 		t.Fatal("nil table")
 	}
 }
+
+func TestTiered(t *testing.T) {
+	cells, err := Tiered(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// all-hot + tiered + tiered sketch + storm.
+	if len(cells) != 4 {
+		t.Fatalf("%d rows, want 4", len(cells))
+	}
+	byConfig := map[string]TieredCell{}
+	for _, c := range cells {
+		byConfig[c.Config] = c
+		if c.Mismatches != 0 {
+			t.Errorf("%s: %d oracle mismatches — a tier migration corrupted an answer", c.Config, c.Mismatches)
+		}
+	}
+	// The deterministic regime's contract (what the bench guard pins): one
+	// warm-up pass + one burst rebalance leaves the measured pass entirely
+	// in the fast tier, at full p99 headroom, on a smaller footprint.
+	det := byConfig["tiered"]
+	if det.ColdPct != 0 {
+		t.Errorf("deterministic tiered row ran %.1f%% cold, want 0", det.ColdPct)
+	}
+	if det.HeadroomX != 1 {
+		t.Errorf("deterministic tiered row p99 headroom %.2f, want exactly 1", det.HeadroomX)
+	}
+	if det.FastSavingX <= 1 {
+		t.Errorf("deterministic tiered row fast saving %.2f, want > 1", det.FastSavingX)
+	}
+	if det.Promotions == 0 {
+		t.Error("deterministic tiered row promoted nothing")
+	}
+	// The sketch regime must actually exercise both migration directions.
+	sk := byConfig["tiered sketch"]
+	if sk.Promotions == 0 || sk.Demotions == 0 {
+		t.Errorf("sketch row promotions=%d demotions=%d, want both > 0", sk.Promotions, sk.Demotions)
+	}
+	if byConfig["tiered +storm"].Promotions == 0 {
+		t.Error("storm row promoted nothing mid-storm")
+	}
+	if TieredTable(cells) == nil {
+		t.Fatal("nil table")
+	}
+}

@@ -1,0 +1,57 @@
+package hwsim
+
+import "fmt"
+
+// TierLatency is the analytic per-query cycle model for the two-tier bucket
+// store (DESIGN.md §16): the SRAM pipeline cost is unchanged, the bucket
+// fetch is charged at fast-tier (commodity DRAM) or slow-tier (CXL/flash
+// class) latency depending on where placement put the bucket. It is a
+// closed-form model rather than a FIFO simulation — E28 uses it to turn a
+// 10M-query trace of (probes, cold?) observations into deterministic p99
+// figures, which is what the bench guard needs.
+type TierLatency struct {
+	// SRAMCycle is the per-probe cost of the bounded secondary search.
+	SRAMCycle int
+	// FastFetch is the fast-tier bucket fetch latency (matches
+	// DefaultDRAMConfig's row-hit latency).
+	FastFetch int
+	// ColdFetch is the slow-tier fetch latency. The 10× default models a
+	// CXL-attached or first-generation persistent-memory device at the
+	// prototype's 100MHz clock.
+	ColdFetch int
+	// SearchCycles is the bucket-scan time over the fetched bounds.
+	SearchCycles int
+}
+
+// DefaultTierLatency matches DefaultDRAMConfig on the fast tier and charges
+// 10× for a cold fetch.
+func DefaultTierLatency() TierLatency {
+	return TierLatency{SRAMCycle: 1, FastFetch: 30, ColdFetch: 300, SearchCycles: 2}
+}
+
+// Validate rejects non-physical configurations (a slow tier faster than the
+// fast tier would silently invert every E28 conclusion).
+func (l TierLatency) Validate() error {
+	if l.SRAMCycle < 1 || l.FastFetch < 1 || l.SearchCycles < 0 {
+		return fmt.Errorf("hwsim: tier latency cycles must be positive")
+	}
+	if l.ColdFetch < l.FastFetch {
+		return fmt.Errorf("hwsim: cold-tier latency %d below fast-tier %d", l.ColdFetch, l.FastFetch)
+	}
+	return nil
+}
+
+// QueryCycles charges one bucketized query: sramProbes secondary-search
+// probes, then one bucket fetch from the tier that holds the bucket, then
+// the bucket scan. bucketRead=false (SRAM-only resolution) charges only the
+// probes.
+func (l TierLatency) QueryCycles(sramProbes int, bucketRead, cold bool) uint64 {
+	c := uint64(sramProbes * l.SRAMCycle)
+	if !bucketRead {
+		return c
+	}
+	if cold {
+		return c + uint64(l.ColdFetch+l.SearchCycles)
+	}
+	return c + uint64(l.FastFetch+l.SearchCycles)
+}

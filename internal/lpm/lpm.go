@@ -7,6 +7,7 @@ package lpm
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -77,37 +78,40 @@ type RuleSet struct {
 
 // NewRuleSet validates the rules and returns a rule-set. Duplicate
 // (prefix,len) pairs are rejected: a rule-set maps each prefix to exactly one
-// action.
+// action. Duplicates are detected on the sorted copy (equal pairs land
+// adjacent), not with a hash set — at the 10M-rule tiered scale the struct-
+// keyed map dominated construction (≈5s of hashing at 6M rules) while the
+// sort is needed anyway.
 func NewRuleSet(width int, rules []Rule) (*RuleSet, error) {
 	if width < 1 || width > 128 {
 		return nil, fmt.Errorf("lpm: invalid width %d", width)
 	}
-	seen := make(map[Rule]struct{}, len(rules))
 	for _, r := range rules {
 		if err := r.Validate(width); err != nil {
 			return nil, err
 		}
-		key := Rule{Prefix: r.Prefix, Len: r.Len}
-		if _, dup := seen[key]; dup {
-			return nil, fmt.Errorf("lpm: duplicate rule %s/%d", r.Prefix, r.Len)
-		}
-		seen[key] = struct{}{}
 	}
 	rs := &RuleSet{Width: width, Rules: append([]Rule(nil), rules...)}
 	rs.sort()
+	for i := 1; i < len(rs.Rules); i++ {
+		a, b := rs.Rules[i-1], rs.Rules[i]
+		if a.Prefix == b.Prefix && a.Len == b.Len {
+			return nil, fmt.Errorf("lpm: duplicate rule %s/%d", b.Prefix, b.Len)
+		}
+	}
 	return rs, nil
 }
 
 // sort orders rules by (Low asc, Len asc) so that a covering (shorter)
 // prefix always precedes the prefixes nested inside it — the order required
-// by the range-conversion sweep.
+// by the range-conversion sweep. slices.SortFunc, not the reflect-based
+// sort.Slice: at 10M rules the latter costs whole seconds.
 func (s *RuleSet) sort() {
-	sort.Slice(s.Rules, func(i, j int) bool {
-		a, b := s.Rules[i], s.Rules[j]
+	slices.SortFunc(s.Rules, func(a, b Rule) int {
 		if c := a.Prefix.Cmp(b.Prefix); c != 0 {
-			return c < 0
+			return c
 		}
-		return a.Len < b.Len
+		return a.Len - b.Len
 	})
 }
 

@@ -13,6 +13,7 @@ import (
 	"neurolpm/internal/lpm"
 	"neurolpm/internal/plane"
 	"neurolpm/internal/shard"
+	"neurolpm/internal/tier"
 )
 
 // FuzzStackVsOracle is THE differential fuzz target for the lookup-plane
@@ -41,6 +42,9 @@ func FuzzStackVsOracle(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2, 0, 1, 2, 3, 4, 5, 6, 3, 0, 0, 0, 0, 0, 0, 0}, uint64(1), uint8(1))
 	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 3, 1, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0}, uint64(42), uint8(2))
 	f.Add([]byte{}, uint64(0), uint8(0))
+	// Tiered-configuration seeds (sel&2): update storm over cold-start tiers.
+	f.Add([]byte{0, 0, 0, 0, 7, 1, 255, 255, 0, 0, 3, 2, 0, 1, 2, 3, 4, 5, 6, 3, 0, 0, 0, 0, 0, 0, 0}, uint64(1), uint8(3))
+	f.Add([]byte{1, 2, 3, 4, 31, 9, 128, 0, 0, 0, 0, 5, 3, 1, 0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0}, uint64(42), uint8(7))
 	f.Fuzz(func(t *testing.T, data []byte, keySeed uint64, sel uint8) {
 		const width = 32
 		split := len(data) / 2
@@ -50,10 +54,20 @@ func FuzzStackVsOracle(f *testing.F) {
 			t.Fatalf("derived rule-set invalid: %v", err)
 		}
 
+		// sel&2 runs the tiered configuration (DESIGN.md §16): an aggressive
+		// placement policy (demote everything the sketch missed, promote on a
+		// single cold fetch) so rebalance passes migrate constantly while the
+		// matrix checks run.
+		tiered := sel&2 == 2
+		tcfg := tier.Config{Enabled: true, DemoteBelow: ^uint32(0)}
+
 		// Single topology: bucketization toggled by sel's low bit.
 		cfg := core.Config{Model: FuzzModel()}
 		if sel&1 == 1 {
 			cfg.BucketSize = 8
+			if tiered {
+				cfg.Tier = tcfg
+			}
 		}
 		eng, err := core.Build(rs, cfg)
 		if err != nil {
@@ -65,12 +79,27 @@ func FuzzStackVsOracle(f *testing.F) {
 		nShards := []int{2, 4, 8}[int(sel)%3]
 		in := fault.NewInjector(keySeed | 1)
 		ucfg := core.Config{BucketSize: 8, Model: FuzzModel(), Fault: in.Hook()}
+		if tiered {
+			ucfg.Tier = tcfg
+		}
 		u, err := shard.BuildUpdatable(rs, ucfg, nShards, 0)
 		if err != nil {
 			t.Fatalf("BuildUpdatable(%d shards, %d rules): %v", nShards, rs.Len(), err)
 		}
 		u.EnableCache(lcache.MinBytes)
 		fx := NewFixture(width, eng, u)
+		if tiered {
+			// Cold-start: every bucket demoted; traffic from the checks below
+			// drives burst promotions via the rebalance calls in the op loop.
+			if ts := eng.TierStore(); ts != nil {
+				ts.DemoteAll()
+			}
+			for i := 0; i < u.Shards(); i++ {
+				if ts := u.Engine(i).TierStore(); ts != nil {
+					ts.DemoteAll()
+				}
+			}
+		}
 
 		type ruleKey struct {
 			p keys.Value
@@ -167,6 +196,13 @@ func FuzzStackVsOracle(f *testing.F) {
 				if err := u.Commit(s); err != nil {
 					t.Fatalf("commit shard %d: %v", s, err)
 				}
+			}
+			if tiered {
+				// Migrate between op and re-check: promotions/demotions land
+				// on live engines (including freshly committed ones) and each
+				// migration must invalidate that shard's cached entries.
+				u.RebalanceTiers()
+				eng.RebalanceTier()
 			}
 			sc := ShardedCombos()
 			rotating := sc[n%len(sc) : n%len(sc)+1]

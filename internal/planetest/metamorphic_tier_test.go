@@ -1,0 +1,130 @@
+package planetest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"neurolpm/internal/core"
+	"neurolpm/internal/fault"
+	"neurolpm/internal/lpm"
+	"neurolpm/internal/plane"
+	"neurolpm/internal/shard"
+	"neurolpm/internal/tier"
+)
+
+// TestStackMetamorphicTiered runs the matrix-equality property of
+// TestStackMetamorphic on the tiered configuration (DESIGN.md §16) through a
+// full placement lifecycle — all-cold start, burst promotion, aggressive
+// sketch demotion — with a fault storm (100% retrain failure over pending
+// inserts) in the middle. The property is unchanged: every (topology, stack)
+// combo answers every key identically, no matter where placement currently
+// holds each bucket or which updates are stuck in delta buffers.
+func TestStackMetamorphicTiered(t *testing.T) {
+	const width = 32
+	rules := RandomRules(width, 600, 71)
+	rs, err := lpm.NewRuleSet(width, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DemoteBelow at max means every rebalance demotes whatever the sketch
+	// missed, so placement churns on each pass instead of settling.
+	tcfg := tier.Config{Enabled: true, DemoteBelow: ^uint32(0)}
+	eng, err := core.Build(rs, core.Config{BucketSize: 8, Model: QuickModel(), Tier: tcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(71)
+	u, err := shard.BuildUpdatable(rs, core.Config{BucketSize: 8, Model: QuickModel(), Tier: tcfg, Fault: in.Hook()}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	u.EnableCache(64 << 10)
+	fx := NewFixture(width, eng, u)
+
+	demoteAll := func() {
+		eng.TierStore().DemoteAll()
+		for i := 0; i < u.Shards(); i++ {
+			u.Engine(i).TierStore().DemoteAll()
+		}
+	}
+	rebalance := func() {
+		eng.RebalanceTier()
+		u.RebalanceTiers()
+	}
+	rng := rand.New(rand.NewSource(73))
+	ks := Corpus(width, rules, 256, rng)
+	combos := plane.Combos()
+
+	equal := func(stage string, cs []plane.Combo) {
+		t.Helper()
+		ref := fx.LookupBatch(cs[0], ks)
+		for _, cb := range cs {
+			batch := fx.LookupBatch(cb, ks)
+			for i, k := range ks {
+				if batch[i] != ref[i] {
+					t.Fatalf("%s: %s: batch key %v: %+v, %s got %+v", stage, cb, k, batch[i], cs[0], ref[i])
+				}
+				if got := fx.Lookup(cb, k); got != ref[i] {
+					t.Fatalf("%s: %s: single key %v: %+v, batch %+v", stage, cb, k, got, ref[i])
+				}
+			}
+		}
+	}
+
+	demoteAll()
+	equal("all-cold", combos)
+
+	// Burst promotion from the traffic above, then another full pass over
+	// the freshly mixed placement.
+	rebalance()
+	equal("post-rebalance", combos)
+
+	// Fault storm: pending inserts that cannot commit (100% retrain
+	// failure). The pending rules are visible through the sharded delta
+	// overlay only, so the equality check narrows to the sharded half of
+	// the matrix — which must stay self-consistent while serving from
+	// mixed tiers with updates stuck in delta buffers.
+	in.FailProb(fault.SiteRetrain, 1)
+	var accepted []lpm.Rule
+	for _, r := range RandomRules(width, 24, 99) {
+		if rs.Find(r.Prefix, r.Len) != lpm.NoMatch {
+			continue
+		}
+		if err := u.Insert(r); err != nil {
+			if errors.Is(err, core.ErrDeltaFull) {
+				continue
+			}
+			t.Fatalf("insert %v: %v", r, err)
+		}
+		accepted = append(accepted, r)
+	}
+	if len(accepted) == 0 {
+		t.Fatal("no pending inserts landed for the storm phase")
+	}
+	if err := u.CommitAll(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("storm commit outcome: %v", err)
+	}
+	demoteAll()
+	rebalance()
+	equal("storm", ShardedCombos())
+
+	// Recovery: storm lifted, everything commits, and the rebuilt shard
+	// engines (which inherit the tier config) must agree with a trie
+	// oracle over base+accepted across another placement churn.
+	in.Clear(fault.SiteRetrain)
+	if err := u.CommitAll(); err != nil {
+		t.Fatalf("recovery commit: %v", err)
+	}
+	merged, err := lpm.NewRuleSet(width, append(append([]lpm.Rule(nil), rules...), accepted...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	demoteAll()
+	rebalance()
+	oracle := lpm.NewTrieMatcher(merged)
+	if err := fx.CheckCombos(ShardedCombos(), oracle, Corpus(width, merged.Rules, 256, rng)); err != nil {
+		t.Fatalf("post-recovery: %v", err)
+	}
+}

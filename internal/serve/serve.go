@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"neurolpm/internal/cachesim"
 	"neurolpm/internal/core"
@@ -120,6 +121,25 @@ func (s *Server) registerSingleObserverGauges() {
 	s.reg.GaugeVec("neurolpm_bucket_hotness_skew",
 		"Fraction of sampled bucket accesses landing in the hottest 10% of buckets (decaying window)", "shard").
 		Set("0", func() float64 { return s.eng.HotSketch().Skew() })
+	s.reg.GaugeVec("neurolpm_tier_resident_buckets",
+		"Fast-tier-resident buckets in the shard's live engine (total buckets when untiered)", "shard").
+		Set("0", func() float64 {
+			if t := s.eng.TierStore(); t != nil {
+				return float64(t.Stats().FastResident)
+			}
+			if d := s.eng.Directory(); d != nil {
+				return float64((d.Array().Len() + d.K - 1) / d.K)
+			}
+			return 0
+		})
+	s.reg.GaugeVec("neurolpm_tier_fast_bytes",
+		"Fast-tier-resident bucket-array bytes in the shard's live engine", "shard").
+		Set("0", func() float64 {
+			if t := s.eng.TierStore(); t != nil {
+				return float64(t.Stats().FastBytes)
+			}
+			return float64(s.eng.DRAMFootprint())
+		})
 	bank := s.reg.GaugeVec("neurolpm_inference_bank_bytes",
 		"Coefficient-bank bytes of each inference plane (float32 compiled vs int16 quantized)", "plane")
 	bank.Set("compiled", func() float64 { return float64(s.eng.Compiled().BankBytes()) })
@@ -167,6 +187,38 @@ func (s *Server) UseResultCache(bytes int) {
 		return
 	}
 	s.rcache = lcache.NewPool(bytes)
+}
+
+// StartTierRebalancer launches the background tier placement loop (the
+// -cold-tier flag): every interval the served engines run one rebalance
+// pass — sketch-driven demotions, burst-driven promotions, migrations
+// published through the cache epoch. In sharded mode the loop rides the
+// shard router's lifecycle (stopped by its Close); in single-engine mode the
+// returned stop function ends it. interval ≤ 0 selects 1s. No-op on
+// untiered engines beyond the timer tick.
+func (s *Server) StartTierRebalancer(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if s.sh != nil {
+		s.sh.StartTierRebalancer(interval)
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.eng.RebalanceTier()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // resultCacheEnabled reports whether the result-cache plane is live in the

@@ -83,6 +83,20 @@ func Build(rs *lpm.RuleSet, cfg core.Config, nShards int) (*Sharded, error) {
 	return s, nil
 }
 
+// RebalanceTiers runs one tier placement pass on every shard (no-op for
+// untiered configurations) and returns the totals. The immutable sharded
+// engine has no background loop of its own — callers (experiments, tests)
+// drive passes explicitly; the serving layers use ShardedUpdatable's
+// StartTierRebalancer.
+func (s *Sharded) RebalanceTiers() (promoted, demoted int) {
+	for _, e := range s.engines {
+		p, d := e.RebalanceTier()
+		promoted += p
+		demoted += d
+	}
+	return promoted, demoted
+}
+
 // plan validates the shard count and returns the router plus the per-shard
 // rule partition.
 func plan(rs *lpm.RuleSet, nShards int) (router, [][]lpm.Rule, error) {
@@ -442,12 +456,31 @@ func (r *router) registerObserverGauges(engineAt func(i int) *core.Engine) {
 		"Compiled worst-case secondary-search probes for the shard's live model", "shard")
 	skew := telemetry.Default.GaugeVec("neurolpm_bucket_hotness_skew",
 		"Fraction of sampled bucket accesses landing in the hottest 10% of buckets (decaying window)", "shard")
+	resident := telemetry.Default.GaugeVec("neurolpm_tier_resident_buckets",
+		"Fast-tier-resident buckets in the shard's live engine (total buckets when untiered)", "shard")
+	fastBytes := telemetry.Default.GaugeVec("neurolpm_tier_fast_bytes",
+		"Fast-tier-resident bucket-array bytes in the shard's live engine", "shard")
 	for i := 0; i < r.Shards(); i++ {
 		i := i
 		lbl := strconv.Itoa(i)
 		drift.Set(lbl, func() float64 { return engineAt(i).DriftMeter().Drift() })
 		bound.Set(lbl, func() float64 { return float64(engineAt(i).DriftMeter().Bound()) })
 		skew.Set(lbl, func() float64 { return engineAt(i).HotSketch().Skew() })
+		resident.Set(lbl, func() float64 {
+			if t := engineAt(i).TierStore(); t != nil {
+				return float64(t.Stats().FastResident)
+			}
+			if d := engineAt(i).Directory(); d != nil {
+				return float64((d.Array().Len() + d.K - 1) / d.K)
+			}
+			return 0
+		})
+		fastBytes.Set(lbl, func() float64 {
+			if t := engineAt(i).TierStore(); t != nil {
+				return float64(t.Stats().FastBytes)
+			}
+			return float64(engineAt(i).DRAMFootprint())
+		})
 	}
 }
 

@@ -312,6 +312,45 @@ func (u *ShardedUpdatable) StartAutoCommit(interval time.Duration, threshold int
 	go u.commitLoop(interval)
 }
 
+// RebalanceTiers runs one tier placement pass on every shard's current live
+// engine (no-op for untiered configs) and returns the totals. Each shard's
+// migrations publish through its own epoch inside RebalanceTier, so a cached
+// reader of shard i is invalidated exactly when shard i's placement moved.
+func (u *ShardedUpdatable) RebalanceTiers() (promoted, demoted int) {
+	for i := range u.shards {
+		p, d := u.Engine(i).RebalanceTier()
+		promoted += p
+		demoted += d
+	}
+	return promoted, demoted
+}
+
+// StartTierRebalancer launches the background tier rebalancer: every
+// interval it runs one placement pass per shard against whatever engine is
+// live at that moment — an engine swapped in by a commit starts all-fast and
+// is picked up on the next pass, so placement survives retrains without any
+// coordination with the committer. interval ≤ 0 selects 1s. The goroutine
+// stops with Close, alongside the committer.
+func (u *ShardedUpdatable) StartTierRebalancer(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-u.stop:
+				return
+			case <-t.C:
+				u.RebalanceTiers()
+			}
+		}
+	}()
+}
+
 // commitLoop wakes on the ticker, on a writer's kick, or when a backed-off
 // shard becomes retryable — whichever is earliest. The kick channel holds
 // one buffered nudge, which is sufficient re-arming: a kick raced with an

@@ -57,13 +57,29 @@ func NewHotSketch(nbuckets int) *HotSketch {
 	return s
 }
 
-// Touch records one access to bucket b. Racy saturation check is fine: the
-// sketch is an estimate and the ceiling only guards overflow.
+// Touch records one access to bucket b. Saturation is exact (CAS, not a
+// racy check-then-add): now that tiered placement compares counts against a
+// demotion threshold, a slot that raced past hotCeiling toward wraparound
+// would read as cold and invert the hot/cold ordering, so the ceiling is a
+// hard bound rather than an estimate.
 func (s *HotSketch) Touch(b uint32) {
 	slot := &s.slots[b&s.mask]
-	if slot.Load() < hotCeiling {
-		slot.Add(1)
+	for {
+		v := slot.Load()
+		if v >= hotCeiling {
+			return
+		}
+		if slot.CompareAndSwap(v, v+1) {
+			return
+		}
 	}
+}
+
+// Count returns bucket b's current (aliased) slot count without applying
+// decay — the rebalancer's bulk read path. Callers comparing counts across
+// buckets must Tick once first so every slot reflects the same decay epoch.
+func (s *HotSketch) Count(b uint32) uint32 {
+	return s.slots[b&s.mask].Load()
 }
 
 // Tick decays if a period has elapsed (the rotor entry point).
@@ -85,6 +101,12 @@ func (s *HotSketch) decayTo(now time.Time) {
 	}
 	for i := range s.slots {
 		if v := s.slots[i].Load(); v != 0 {
+			if v > hotCeiling {
+				// Repair any slot above the ceiling (e.g. state restored from
+				// a wrapped pre-hardening counter) instead of halving the
+				// corrupt value as if it were real mass.
+				v = hotCeiling
+			}
 			s.slots[i].Store(v >> uint(k))
 		}
 	}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSketchSaturationExact drives Touch across the ceiling boundary and
+// asserts the CAS saturation is exact: the slot parks at hotCeiling and
+// never wraps, even under concurrency.
+func TestSketchSaturationExact(t *testing.T) {
+	s := NewHotSketch(4)
+	// Start one increment below the ceiling.
+	s.slots[1].Store(hotCeiling - 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				s.Touch(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(1); got != hotCeiling {
+		t.Fatalf("slot after saturating hammer = %d, want exactly %d", got, hotCeiling)
+	}
+}
+
+// TestSketchWrapCannotInvertOrdering forces the failure mode the tier
+// rebalancer cares about: a counter that wrapped past uint32 (simulated by
+// storing a near-max value directly, as a long-running pre-hardening process
+// could have produced) must not end up ordered below a genuinely hot bucket
+// after decay, and must never be resurrected by Touch.
+func TestSketchWrapCannotInvertOrdering(t *testing.T) {
+	s := NewHotSketch(8)
+	// Bucket 0: corrupt "wrapped" state far above the ceiling.
+	s.slots[0].Store(math.MaxUint32 - 3)
+	// Bucket 1: legitimately hot, saturated at the ceiling.
+	s.slots[1].Store(hotCeiling)
+	// Bucket 2: modestly warm.
+	s.slots[2].Store(1000)
+
+	// Touch must refuse to push either high slot further (no wrap to 0).
+	for i := 0; i < 8; i++ {
+		s.Touch(0)
+		s.Touch(1)
+	}
+	if got := s.Count(0); got != math.MaxUint32-3 {
+		t.Fatalf("Touch modified an above-ceiling slot: %d", got)
+	}
+
+	// One decay halving clamps the corrupt slot to the ceiling first, so it
+	// decays like a maximally hot bucket instead of wrapping or jumping the
+	// ordering.
+	s.Tick(s.last.Add(decayPeriod))
+	if got, want := s.Count(0), uint32(hotCeiling>>1); got != want {
+		t.Fatalf("decayed wrapped slot = %d, want clamp-then-halve %d", got, want)
+	}
+	if s.Count(0) != s.Count(1) {
+		t.Fatalf("wrapped slot (%d) and saturated-hot slot (%d) diverged after decay",
+			s.Count(0), s.Count(1))
+	}
+	if s.Count(0) < s.Count(2) {
+		t.Fatalf("hot/cold ordering inverted: wrapped-hot %d < warm %d", s.Count(0), s.Count(2))
+	}
+}
+
+// TestSketchDecayEpochExtremes exercises the decay epoch arithmetic at the
+// boundaries a long-running or clock-stepped process can hit: a huge elapsed
+// interval (duration saturates at MaxInt64) must not panic, must zero the
+// sketch via the 31-halving cap, and must leave the epoch caught up; a
+// backwards clock step must be a no-op.
+func TestSketchDecayEpochExtremes(t *testing.T) {
+	s := NewHotSketch(4)
+	s.slots[0].Store(hotCeiling)
+	far := s.last.Add(time.Duration(math.MaxInt64))
+	s.Tick(far)
+	if got := s.Count(0); got != 0 {
+		t.Fatalf("slot after saturated-elapsed decay = %d, want 0", got)
+	}
+	if s.last.After(far) {
+		t.Fatalf("decay epoch overran now: last=%v now=%v", s.last, far)
+	}
+
+	// Clock steps backwards: elapsed is negative, nothing changes.
+	s.slots[0].Store(42)
+	before := s.last
+	s.Tick(s.last.Add(-time.Hour))
+	if got := s.Count(0); got != 42 {
+		t.Fatalf("backwards clock decayed the sketch: %d", got)
+	}
+	if !s.last.Equal(before) {
+		t.Fatalf("backwards clock moved the decay epoch")
+	}
+
+	// And the epoch still advances normally afterwards.
+	s.Tick(before.Add(decayPeriod))
+	if got := s.Count(0); got != 21 {
+		t.Fatalf("post-recovery decay = %d, want 21", got)
+	}
+}

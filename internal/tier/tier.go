@@ -1,0 +1,268 @@
+// Package tier implements the two-tier bucket store that scales the §7
+// bucketized design an order of magnitude past paper scale (the ROADMAP's
+// "CRAM Lens" direction): hot buckets stay in the engine's flat fast-tier
+// bound arrays, cold buckets are demoted to a simulated slow tier — a
+// separately allocated, access-counted copy of the bucket's bounds standing
+// in for CXL/flash-class memory. Placement is driven by the decaying
+// bucket-hotness sketches in internal/telemetry (demotion) and by unsampled
+// per-bucket access bursts (promotion), applied by a rebalance pass that the
+// engine publishes through its per-shard cache epoch.
+//
+// Correctness under racy migration is free by construction: range bounds are
+// immutable after ranges.Convert, so the fast-tier arrays and a bucket's
+// cold copy always hold identical values — a lookup racing a tier flip
+// resolves the same range index either way, and the planetest matrix plus a
+// dedicated -race stress test enforce exactly that. The tier map itself is
+// an atomic bitmap plus per-bucket atomic pointers, so readers never see a
+// torn migration; the epoch bump a rebalance publishes exists to keep the
+// cached planes' invalidation discipline uniform (every placement change is
+// an engine-state change), not to patch a data race.
+package tier
+
+import (
+	"sync/atomic"
+	"time"
+
+	"neurolpm/internal/telemetry"
+)
+
+// Every cold-tier access and migration is counted here; the resident gauge
+// is registered by the serving layers (internal/serve, internal/shard),
+// which know each shard's live engine.
+var (
+	metPromotions = telemetry.Default.Counter("neurolpm_tier_promotions_total",
+		"Buckets promoted cold→fast by the rebalancer (access bursts)")
+	metDemotions = telemetry.Default.Counter("neurolpm_tier_demotions_total",
+		"Buckets demoted fast→cold by the rebalancer (hotness below threshold)")
+	metColdFetches = telemetry.Default.Counter("neurolpm_tier_cold_fetches_total",
+		"Bucket fetches served from the slow tier")
+)
+
+// Config selects and tunes the tiered bucket store. It rides core.Config
+// (like the fault hook) so engine rebuilds — InsertBatch, sharded commits —
+// inherit the tier automatically.
+type Config struct {
+	// Enabled turns the tier on for bucketized engines of width ≤ 64 (the
+	// designs with a flat uint64 bound array to copy from). Zero value = off:
+	// the engine pays one nil check per bucket fetch and nothing else.
+	Enabled bool
+	// DemoteBelow is the decayed hotness count below which a rebalance pass
+	// demotes a fast-resident bucket. 0 selects 1 (demote buckets the sketch
+	// has not seen at all within its decay window).
+	DemoteBelow uint32
+	// PromoteBurst is the number of cold fetches since the previous rebalance
+	// pass that promotes a cold bucket back to the fast tier. 0 selects 1
+	// (any observed cold access promotes — the working set migrates up after
+	// one pass). Burst counters are exact, not sampled: promotion must react
+	// to traffic the 1:64 hotness sampling can miss.
+	PromoteBurst uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.DemoteBelow == 0 {
+		c.DemoteBelow = 1
+	}
+	if c.PromoteBurst == 0 {
+		c.PromoteBurst = 1
+	}
+	return c
+}
+
+// Stats is a point-in-time tier snapshot.
+type Stats struct {
+	Buckets      int // total buckets
+	FastResident int // buckets in the fast tier
+	ColdResident int // buckets in the slow tier
+	FastBytes    int // fast-tier bound-array bytes for resident buckets
+	ColdBytes    int // separately allocated slow-tier bytes
+}
+
+// Store is the per-engine tier map over a bucket directory's bucket array.
+// It is immutable in shape after New; placement state (bitmap, cold copies,
+// burst counters) is fully atomic, so lookups, the rebalancer and commits
+// may race freely.
+type Store struct {
+	cfg        Config
+	k          int      // ranges per bucket
+	entryBytes int      // bytes per range entry (footprint accounting)
+	lows       []uint64 // the engine's flat fast-tier bounds (shared, immutable)
+	nb         int      // bucket count
+
+	cold  []atomic.Uint32            // placement bitmap: bit b&31 of word b>>5
+	data  []atomic.Pointer[[]uint64] // per-bucket slow-tier copy; nil while fast
+	burst []atomic.Uint32            // cold fetches since the last rebalance
+
+	fastResident atomic.Int64
+	coldBytes    atomic.Int64
+}
+
+// New builds the tier map for a bucket array of len(lows) ranges grouped k
+// per bucket. Every bucket starts fast-resident (the uniform single-tier
+// layout); demotion is the rebalancer's job.
+func New(lows []uint64, k, entryBytes int, cfg Config) *Store {
+	nb := (len(lows) + k - 1) / k
+	t := &Store{
+		cfg:        cfg.withDefaults(),
+		k:          k,
+		entryBytes: entryBytes,
+		lows:       lows,
+		nb:         nb,
+		cold:       make([]atomic.Uint32, (nb+31)/32),
+		data:       make([]atomic.Pointer[[]uint64], nb),
+		burst:      make([]atomic.Uint32, nb),
+	}
+	t.fastResident.Store(int64(nb))
+	return t
+}
+
+// Buckets returns the bucket count.
+func (t *Store) Buckets() int { return t.nb }
+
+// bounds returns bucket b's half-open range-index span.
+func (t *Store) bounds(b int) (start, end int) {
+	start = b * t.k
+	end = start + t.k
+	if end > len(t.lows) {
+		end = len(t.lows)
+	}
+	return start, end
+}
+
+// IsCold reports bucket b's current placement.
+func (t *Store) IsCold(b int) bool {
+	return t.cold[b>>5].Load()&(1<<(uint(b)&31)) != 0
+}
+
+// Fetch routes one bucket access. For fast-resident buckets it returns
+// ok=false and the caller scans the fast-tier arrays as before. For cold
+// buckets it counts the slow-tier fetch, feeds the promotion burst counter,
+// and resolves k within the bucket's separately allocated cold copy — the
+// same in-order scan as the fast path over bit-identical bounds, so a racing
+// migration can never change the answer. kk is the ≤64-bit key (callers map
+// out-of-domain keys to ^uint64(0), above every bound, exactly like the
+// fast-tier bucket scan).
+func (t *Store) Fetch(b int, kk uint64) (idx, comparisons int, ok bool) {
+	if !t.IsCold(b) {
+		return 0, 0, false
+	}
+	p := t.data[b].Load()
+	if p == nil {
+		// Racing promotion already reclaimed the copy; the fast tier is
+		// authoritative again.
+		return 0, 0, false
+	}
+	metColdFetches.Inc()
+	t.burst[b].Add(1)
+	lows := *p
+	start := b * t.k
+	idx = start
+	for i := 1; i < len(lows); i++ {
+		comparisons++
+		if kk < lows[i] {
+			break
+		}
+		idx = start + i
+	}
+	return idx, comparisons, true
+}
+
+// Demote moves bucket b to the slow tier: allocate the cold copy, publish
+// it, then flip the placement bit. Returns false if b was already cold.
+func (t *Store) Demote(b int) bool {
+	if t.IsCold(b) {
+		return false
+	}
+	start, end := t.bounds(b)
+	cp := make([]uint64, end-start)
+	copy(cp, t.lows[start:end])
+	t.data[b].Store(&cp)
+	t.cold[b>>5].Or(1 << (uint(b) & 31))
+	t.fastResident.Add(-1)
+	t.coldBytes.Add(int64(len(cp) * t.entryBytes))
+	metDemotions.Inc()
+	return true
+}
+
+// Promote moves bucket b back to the fast tier: flip the bit first (readers
+// immediately take the fast path), then release the cold copy. Returns false
+// if b was already fast.
+func (t *Store) Promote(b int) bool {
+	if !t.IsCold(b) {
+		return false
+	}
+	t.cold[b>>5].And(^uint32(1 << (uint(b) & 31)))
+	if p := t.data[b].Swap(nil); p != nil {
+		t.coldBytes.Add(-int64(len(*p) * t.entryBytes))
+	}
+	t.fastResident.Add(1)
+	metPromotions.Inc()
+	return true
+}
+
+// DemoteAll demotes every fast-resident bucket (the cold-start layout tests
+// and experiments use to force the promotion path) and returns how many
+// moved.
+func (t *Store) DemoteAll() int {
+	n := 0
+	for b := 0; b < t.nb; b++ {
+		if t.Demote(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// Rebalance runs one placement pass: cold buckets whose burst counter
+// reached PromoteBurst (or whose decayed hotness recovered past DemoteBelow)
+// are promoted; fast buckets whose hotness sits below DemoteBelow are
+// demoted. hot may be nil, which makes the pass purely burst-driven (no
+// demotions) — the deterministic mode experiments use. The caller publishes
+// the pass through its cache epoch when promoted+demoted > 0
+// (core.Engine.RebalanceTier).
+func (t *Store) Rebalance(hot *telemetry.HotSketch) (promoted, demoted int) {
+	if hot != nil {
+		hot.Tick(time.Now())
+	}
+	for b := 0; b < t.nb; b++ {
+		burst := t.burst[b].Swap(0)
+		var count uint32
+		if hot != nil {
+			count = hot.Count(uint32(b))
+		}
+		if t.IsCold(b) {
+			if burst >= t.cfg.PromoteBurst || count >= t.cfg.DemoteBelow {
+				if t.Promote(b) {
+					promoted++
+				}
+			}
+			continue
+		}
+		// Burst is only ever fed by cold fetches, so a nonzero value here
+		// means the bucket was promoted mid-window — leave it alone.
+		if hot != nil && burst == 0 && count < t.cfg.DemoteBelow {
+			if t.Demote(b) {
+				demoted++
+			}
+		}
+	}
+	return promoted, demoted
+}
+
+// Stats snapshots residency. Fast bytes count the bound-array span of every
+// fast-resident bucket; cold bytes are the separately allocated copies.
+func (t *Store) Stats() Stats {
+	fast := int(t.fastResident.Load())
+	s := Stats{
+		Buckets:      t.nb,
+		FastResident: fast,
+		ColdResident: t.nb - fast,
+		FastBytes:    fast * t.k * t.entryBytes,
+		ColdBytes:    int(t.coldBytes.Load()),
+	}
+	if s.FastResident > 0 && !t.IsCold(t.nb-1) {
+		// The last bucket may be partial; correct the overcount.
+		start, end := t.bounds(t.nb - 1)
+		s.FastBytes -= (t.k - (end - start)) * t.entryBytes
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package tier
+
+import (
+	"testing"
+
+	"neurolpm/internal/telemetry"
+)
+
+// fixtureLows builds n strictly increasing bounds: 10, 20, 30, ...
+func fixtureLows(n int) []uint64 {
+	lows := make([]uint64, n)
+	for i := range lows {
+		lows[i] = uint64(i+1) * 10
+	}
+	return lows
+}
+
+// scan is the reference fast-tier resolution: last index in the bucket whose
+// bound is ≤ kk (mirrors core.Engine.bucketScan).
+func scan(lows []uint64, k, b int, kk uint64) int {
+	start := b * k
+	end := start + k
+	if end > len(lows) {
+		end = len(lows)
+	}
+	idx := start
+	for i := start + 1; i < end; i++ {
+		if kk < lows[i] {
+			break
+		}
+		idx = i
+	}
+	return idx
+}
+
+func TestFetchMatchesFastScanAcrossMigrations(t *testing.T) {
+	const k = 8
+	lows := fixtureLows(61) // deliberately partial last bucket
+	s := New(lows, k, 4, Config{Enabled: true})
+	if s.Buckets() != 8 {
+		t.Fatalf("buckets = %d, want 8", s.Buckets())
+	}
+	probe := func(when string) {
+		for b := 0; b < s.Buckets(); b++ {
+			for kk := uint64(0); kk <= 640; kk += 3 {
+				want := scan(lows, k, b, kk)
+				idx, _, cold := s.Fetch(b, kk)
+				if cold != s.IsCold(b) {
+					t.Fatalf("%s: bucket %d cold=%v, IsCold=%v", when, b, cold, s.IsCold(b))
+				}
+				if cold && idx != want {
+					t.Fatalf("%s: cold fetch bucket %d key %d = %d, fast scan %d", when, b, kk, idx, want)
+				}
+			}
+		}
+	}
+	probe("all-fast")
+	if n := s.DemoteAll(); n != 8 {
+		t.Fatalf("DemoteAll = %d, want 8", n)
+	}
+	probe("all-cold")
+	for b := 0; b < s.Buckets(); b += 2 {
+		s.Promote(b)
+	}
+	probe("mixed")
+}
+
+func TestResidencyAccounting(t *testing.T) {
+	const k, eb = 8, 4
+	lows := fixtureLows(61) // 7 full buckets + one 5-range bucket
+	s := New(lows, k, eb, Config{Enabled: true})
+	st := s.Stats()
+	if st.FastResident != 8 || st.ColdResident != 0 {
+		t.Fatalf("initial residency = %+v", st)
+	}
+	if want := 61 * eb; st.FastBytes != want {
+		t.Fatalf("initial fast bytes = %d, want %d", st.FastBytes, want)
+	}
+	if st.ColdBytes != 0 {
+		t.Fatalf("initial cold bytes = %d", st.ColdBytes)
+	}
+
+	s.Demote(7) // the partial bucket
+	st = s.Stats()
+	if st.FastResident != 7 || st.ColdResident != 1 {
+		t.Fatalf("after demote: %+v", st)
+	}
+	if want := 56 * eb; st.FastBytes != want {
+		t.Fatalf("fast bytes after demoting partial bucket = %d, want %d", st.FastBytes, want)
+	}
+	if want := 5 * eb; st.ColdBytes != want {
+		t.Fatalf("cold bytes = %d, want %d", st.ColdBytes, want)
+	}
+
+	// Idempotence: re-demoting / re-promoting must not double-count.
+	if s.Demote(7) {
+		t.Fatal("Demote on cold bucket reported true")
+	}
+	s.Promote(7)
+	if s.Promote(7) {
+		t.Fatal("Promote on fast bucket reported true")
+	}
+	st = s.Stats()
+	if st.FastResident != 8 || st.ColdBytes != 0 {
+		t.Fatalf("after round-trip: %+v", st)
+	}
+}
+
+func TestRebalanceBurstPromotion(t *testing.T) {
+	lows := fixtureLows(64)
+	s := New(lows, 8, 4, Config{Enabled: true, PromoteBurst: 3})
+	s.DemoteAll()
+	// Bucket 2 gets a 3-fetch burst, bucket 5 only one touch.
+	for i := 0; i < 3; i++ {
+		s.Fetch(2, 25)
+	}
+	s.Fetch(5, 415)
+	promoted, demoted := s.Rebalance(nil)
+	if promoted != 1 || demoted != 0 {
+		t.Fatalf("Rebalance = (%d,%d), want (1,0)", promoted, demoted)
+	}
+	if s.IsCold(2) || !s.IsCold(5) {
+		t.Fatalf("placement after rebalance: bucket2 cold=%v bucket5 cold=%v", s.IsCold(2), s.IsCold(5))
+	}
+	// Burst counters were consumed: a second pass promotes nothing.
+	if p, _ := s.Rebalance(nil); p != 0 {
+		t.Fatalf("second pass promoted %d", p)
+	}
+}
+
+func TestRebalanceSketchDemotion(t *testing.T) {
+	lows := fixtureLows(64)
+	s := New(lows, 8, 4, Config{Enabled: true, DemoteBelow: 2})
+	hot := telemetry.NewHotSketch(s.Buckets())
+	// Buckets 0 and 3 are hot; the rest were never sampled.
+	for i := 0; i < 5; i++ {
+		hot.Touch(0)
+		hot.Touch(3)
+	}
+	promoted, demoted := s.Rebalance(hot)
+	if promoted != 0 || demoted != 6 {
+		t.Fatalf("Rebalance = (%d,%d), want (0,6)", promoted, demoted)
+	}
+	if s.IsCold(0) || s.IsCold(3) {
+		t.Fatal("hot buckets were demoted")
+	}
+	// A hotness recovery promotes without a burst.
+	for i := 0; i < 5; i++ {
+		hot.Touch(6)
+	}
+	promoted, _ = s.Rebalance(hot)
+	if promoted != 1 || s.IsCold(6) {
+		t.Fatalf("hotness recovery: promoted=%d cold=%v", promoted, s.IsCold(6))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package workload
+
+// The 10M scale canary (scale_test.go) is compiled out under the race
+// detector; this constant keeps both build flavors consistent for any
+// future gating.
+const raceEnabled = true
