@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-json bench-guard slo smoke faults fuzz ci
+.PHONY: build vet test race bench bench-smoke bench-json bench-guard slo smoke faults fuzz loadtest ci
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ bench-smoke:
 # -compact keeps the committed file diffable (no timestamps, one line per
 # table row).
 bench-json:
-	$(GO) run ./cmd/lpmbench -json BENCH_PR9.json -compact
+	$(GO) run ./cmd/lpmbench -json BENCH_PR10.json -compact
 
 # The flight-recorder & SLO plane experiment (E26): sampling overhead,
 # quantile fidelity, drift and hotness sanity (DESIGN.md §13).
@@ -53,18 +53,25 @@ faults:
 # update interleavings and injected commit failures.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -race ./internal/core ./internal/shard ./internal/serve ./internal/telemetry ./internal/planetest
+	$(GO) test -race ./internal/core ./internal/shard ./internal/serve ./internal/telemetry ./internal/planetest ./internal/wire ./internal/load
 	$(GO) test -run xxx -fuzz FuzzParseRule -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzPrefixCoverBounds -fuzztime $(FUZZTIME) ./internal/lpm
 	$(GO) test -run xxx -fuzz FuzzReadModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzCompiledVsModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzQuantizedVsModel -fuzztime $(FUZZTIME) ./internal/rqrmi
 	$(GO) test -run xxx -fuzz FuzzStackVsOracle -fuzztime $(FUZZTIME) ./internal/planetest
+	$(GO) test -run xxx -fuzz FuzzWireCodec -fuzztime $(FUZZTIME) ./internal/wire
 
-# E23 + E25 + E28 quick on the unified stack, compared against the
+# The lpmload CI smoke (DESIGN.md §17): a 2s open-loop wire run with a live
+# update stream against an in-process WireServer must complete ≥ 90% of the
+# offered rate with zero errors and zero oracle mismatches.
+loadtest:
+	$(GO) test -run TestLoadSmoke -v -count=1 ./internal/load
+
+# E23 + E25 + E28 + E29 quick on the unified stack, compared against the
 # committed baseline: any ratio regressing by more than 3% fails.
 bench-guard:
-	$(GO) run ./cmd/lpmbench -guard BENCH_PR9.json
+	$(GO) run ./cmd/lpmbench -guard BENCH_PR10.json
 
-ci: build vet race smoke bench-smoke bench-guard slo
+ci: build vet race smoke bench-smoke bench-guard loadtest slo
 	$(GO) test -run xxx -bench 'BenchmarkLookup(Instrumented|Seed)$$' -benchtime 1s ./internal/core/

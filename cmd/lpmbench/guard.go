@@ -98,11 +98,15 @@ func (g guardRow) verdict() (string, bool) {
 // co-tenant — fails the guard. Oracle mismatches fail immediately.
 const guardAttempts = 3
 
-// guardMeasure runs E23 + E25 + E28 once and returns one guardRow per table
-// row. E28 contributes two ratio sets (fast-tier saving, p99 headroom) from
-// its deterministic rows only — the sketch row rides the 1:64 hotness
-// sampling phase and would flake any fixed tolerance.
-func guardMeasure(sc experiments.Scale, compBase, cacheBase, tierFastBase, tierP99Base map[string]float64) ([]guardRow, error) {
+// guardMeasure runs E23 + E25 + E28 + E29 once and returns one guardRow per
+// table row. E28 contributes two ratio sets (fast-tier saving, p99 headroom)
+// from its deterministic rows only — the sketch row rides the 1:64 hotness
+// sampling phase and would flake any fixed tolerance. E29 contributes its
+// deterministic bytes-per-query ratio; the measured wire rows' oracle
+// mismatches and request errors fold into that row, so a wire plane serving
+// a single wrong answer fails the guard even though its throughput is not
+// pinned.
+func guardMeasure(sc experiments.Scale, compBase, cacheBase, tierFastBase, tierP99Base, wireBytesBase map[string]float64) ([]guardRow, error) {
 	var rows []guardRow
 	comp, err := experiments.CompiledSpeedup(sc)
 	if err != nil {
@@ -132,10 +136,24 @@ func guardMeasure(sc experiments.Scale, compBase, cacheBase, tierFastBase, tierP
 			guardRow{"tier-fast", c.Config, tierFastBase[c.Config], c.FastSavingX, c.Mismatches},
 			guardRow{"tier-p99", c.Config, tierP99Base[c.Config], c.HeadroomX, c.Mismatches})
 	}
+	wireCells, err := experiments.Wire(sc)
+	if err != nil {
+		return nil, fmt.Errorf("E29: %w", err)
+	}
+	wireBad := 0
+	for _, c := range wireCells {
+		wireBad += c.Mismatches + c.Errors
+	}
+	for _, c := range wireCells {
+		if !c.Deterministic {
+			continue
+		}
+		rows = append(rows, guardRow{"wire-bytes", c.Config, wireBytesBase[c.Config], c.VsHTTPX, wireBad})
+	}
 	return rows, nil
 }
 
-// runGuard reruns E23, E25 and E28 at quick scale through the unified
+// runGuard reruns E23, E25, E28 and E29 at quick scale through the unified
 // plane-stack entry points and compares every ratio against the baseline.
 func runGuard(sc experiments.Scale, path string) error {
 	compBase, err := baselineSpeedups(path, "compiled", []int{0, 1}, 3)
@@ -155,12 +173,17 @@ func runGuard(sc experiments.Scale, path string) error {
 	if err != nil {
 		return err
 	}
+	// E29 columns: 5 = vs http x (the deterministic bytes/query ratio row).
+	wireBytesBase, err := baselineSpeedups(path, "wire", []int{0}, 5)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("# unified-stack bench guard vs %s (tolerance %.0f%%, up to %d attempts)\n",
 		path, 100*guardTolerance, guardAttempts)
 	var best []guardRow
 	for attempt := 1; attempt <= guardAttempts; attempt++ {
-		rows, err := guardMeasure(sc, compBase, cacheBase, tierFastBase, tierP99Base)
+		rows, err := guardMeasure(sc, compBase, cacheBase, tierFastBase, tierP99Base, wireBytesBase)
 		if err != nil {
 			return err
 		}

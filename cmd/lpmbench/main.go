@@ -11,7 +11,7 @@
 // Experiments: fig2 fig6a fig6b fig7 fig8 fig9 fig10 table1 expansion
 // worstcase binsearch bitwidth updates scaling headline modelsize tss dram
 // replicas designspace worstbw emexpand sharded compiled faults cache
-// observe tiered all
+// observe tiered wire all
 //
 // -json writes every experiment's table plus a headline Lookup
 // microbenchmark (ns/op, allocs/op) as machine-readable JSON, so the perf
@@ -22,8 +22,9 @@
 // -metrics serves /metrics and /debug/pprof while the run is in flight.
 //
 // -guard is the unified-stack bench gate (CI's bench-smoke job): it reruns
-// E23 (compiled speedup), E25 (hot-key cache) and E28's deterministic rows
-// (tiered-store fast-tier saving and p99 headroom) at quick scale — all
+// E23 (compiled speedup), E25 (hot-key cache), E28's deterministic rows
+// (tiered-store fast-tier saving and p99 headroom) and E29's deterministic
+// bytes-per-query ratio (wire vs HTTP framing) at quick scale — all
 // routed through the plane-stack executor — and compares every ratio
 // against the named baseline JSON. Ratios compare machine-portably where
 // absolute rates don't; any ratio regressing by more than 3%, or any
@@ -359,12 +360,19 @@ func main() {
 			}
 			return experiments.TieredTable(r), nil
 		},
+		"wire": func(sc experiments.Scale) (*experiments.Table, error) {
+			r, err := experiments.Wire(sc)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.WireTable(r), nil
+		},
 	}
 	order := []string{
 		"fig2", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
 		"table1", "expansion", "worstcase", "binsearch", "bitwidth",
 		"updates", "scaling", "headline", "modelsize", "tss", "dram", "replicas", "designspace", "worstbw", "emexpand",
-		"sharded", "compiled", "faults", "cache", "observe", "tiered",
+		"sharded", "compiled", "faults", "cache", "observe", "tiered", "wire",
 	}
 
 	names := order

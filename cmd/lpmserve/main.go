@@ -10,6 +10,14 @@
 //	         [-addr :8080] [-sram MB] [-shards N] [-autocommit 100ms]
 //	         [-cache-bytes N] [-flight-sample N] [-inference compiled]
 //	         [-cold-tier] [-tier-interval 1s]
+//	         [-wire-addr :9090] [-coalesce-window 20µs]
+//
+// -wire-addr additionally serves the binary wire protocol (DESIGN.md §17)
+// on a second listener: length-prefixed frames over persistent TCP, no JSON
+// on the hot path, with single-key lookups from different connections
+// coalesced into one batch-plane call within -coalesce-window (the window
+// adapts down to zero under light load, so a lone client keeps its p50).
+// Drive it with cmd/lpmload; one SIGINT/SIGTERM drains both listeners.
 //
 // -cold-tier enables the two-tier bucket store (DESIGN.md §16): a background
 // rebalancer demotes buckets the hotness sketch stopped seeing to a simulated
@@ -100,6 +108,8 @@ func main() {
 	inference := flag.String("inference", "compiled", "inference plane: compiled, reference or quantized")
 	coldTier := flag.Bool("cold-tier", false, "enable the two-tier bucket store: cold buckets demote to a simulated slow tier, a background rebalancer migrates on hotness (DESIGN.md §16)")
 	tierInterval := flag.Duration("tier-interval", time.Second, "tier rebalance interval (requires -cold-tier)")
+	wireAddr := flag.String("wire-addr", "", "also serve the binary wire protocol on this address (DESIGN.md §17; empty = HTTP only)")
+	coalesceWindow := flag.Duration("coalesce-window", serve.DefaultCoalesceWindow, "max time the wire coalescer gathers cross-connection lookups into one batch (requires -wire-addr; shrinks adaptively under light load)")
 	flag.Parse()
 
 	if *rulesPath == "" {
@@ -154,10 +164,20 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	units := []serve.Unit{&serve.HTTPUnit{Listener: l, Handler: srv.Handler()}}
+	if *wireAddr != "" {
+		wl, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		units = append(units, serve.NewWireServer(srv, wl, *coalesceWindow))
+		srv.SetInfo("wire", "1")
+		fmt.Fprintf(os.Stderr, "lpmserve: wire protocol on %s (coalesce window %v)\n", wl.Addr(), *coalesceWindow)
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	fmt.Fprintf(os.Stderr, "lpmserve: listening on %s\n", l.Addr())
-	if err := serve.Serve(l, srv.Handler(), stop, *drain); err != nil {
+	if err := serve.ServeUnits(stop, *drain, units...); err != nil {
 		fatal("%v", err)
 	}
 	if sh != nil {

@@ -619,3 +619,50 @@ func TestTiered(t *testing.T) {
 		t.Fatal("nil table")
 	}
 }
+
+func TestWire(t *testing.T) {
+	cells, err := Wire(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// http fan-in, wire window=0, wire coalesce, two 1-conn rows, bytes row.
+	if len(cells) != 6 {
+		t.Fatalf("%d rows, want 6", len(cells))
+	}
+	byConfig := map[string]WireCell{}
+	for _, c := range cells {
+		byConfig[c.Config] = c
+		if c.Mismatches != 0 {
+			t.Errorf("%s: %d oracle mismatches — the wire plane served a wrong answer", c.Config, c.Mismatches)
+		}
+		if c.Errors != 0 {
+			t.Errorf("%s: %d request errors", c.Config, c.Errors)
+		}
+		if !c.Deterministic && c.QPS <= 0 {
+			t.Errorf("%s: nonpositive qps %f", c.Config, c.QPS)
+		}
+	}
+	// The binary planes must beat the HTTP/JSON baseline at the fan-in
+	// (the 2× headline is asserted at bench scale; shapes must hold here).
+	if w := byConfig["wire coalesce"]; w.VsHTTPX <= 1 {
+		t.Errorf("wire coalesce %.2fx vs http, want > 1", w.VsHTTPX)
+	}
+	// Light-load parity: the lone wire client's p50 must not be taxed by the
+	// coalesce window (ISSUE: within 10% of HTTP parity; wire should win).
+	h1, w1 := byConfig["http/json 1-conn"], byConfig["wire coalesce 1-conn"]
+	if w1.P50us > 1.1*h1.P50us {
+		t.Errorf("1-conn wire p50 %.1fµs above 110%% of http p50 %.1fµs", w1.P50us, h1.P50us)
+	}
+	// The deterministic bytes row: wire framing must be several times leaner
+	// than the HTTP request + JSON response for the same lookup.
+	det := byConfig["bytes/query ratio"]
+	if !det.Deterministic {
+		t.Fatal("bytes row not marked deterministic")
+	}
+	if det.VsHTTPX <= 3 {
+		t.Errorf("bytes/query ratio %.2f, want > 3 (http vs wire)", det.VsHTTPX)
+	}
+	if WireTable(cells) == nil {
+		t.Fatal("nil table")
+	}
+}

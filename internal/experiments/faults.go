@@ -68,27 +68,30 @@ func FaultStorm(sc Scale) ([]FaultsCell, error) {
 	sh.StartAutoCommit(10*time.Millisecond, faultsInsertsPerPhase/4)
 
 	merged := append([]lpm.Rule(nil), rs.Rules...)
-	nextAction := uint64(1 << 20)
-	probe := uint64(0x9e3779b97f4a7c15)
-	// insertFresh queues n fresh full-width rules (visible immediately via
-	// the delta overlay) and returns them merged into the logical rule-set.
+	// The churn comes from the shared open-loop update generator
+	// (workload.GenerateUpdates, also replayed by cmd/lpmload): insert-only,
+	// one fresh full-width site per rule, so each phase's inserts fold
+	// directly into the merged oracle.
+	stream, err := workload.GenerateUpdates(rs, workload.UpdateConfig{
+		Count:      3 * faultsInsertsPerPhase,
+		InsertOnly: true,
+		ActionBase: 1 << 20,
+		Seed:       sc.Seed | 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	// insertFresh queues the stream's next n rules (visible immediately via
+	// the delta overlay) and merges them into the logical rule-set.
 	insertFresh := func(n int) error {
-		set, err := lpm.NewRuleSet(rs.Width, merged)
-		if err != nil {
-			return err
-		}
-		for added := 0; added < n; probe = probe*2862933555777941757 + 3037000493 {
-			p := keys.FromUint64(probe).And(keys.MaxValue(rs.Width))
-			if set.Find(p, rs.Width) != lpm.NoMatch {
-				continue
-			}
-			r := lpm.Rule{Prefix: p, Len: rs.Width, Action: nextAction}
-			nextAction++
+		for ; n > 0; n-- {
+			r := stream.Updates[next].Rule
+			next++
 			if err := sh.Insert(r); err != nil {
 				return fmt.Errorf("insert during storm: %w", err)
 			}
 			merged = append(merged, r)
-			added++
 		}
 		return nil
 	}

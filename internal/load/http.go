@@ -1,0 +1,123 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"neurolpm/internal/keys"
+)
+
+// hexKey formats a key the way serve.ParseKey reads it back.
+func hexKey(k keys.Value) string {
+	if k.Hi != 0 {
+		return fmt.Sprintf("0x%x%016x", k.Hi, k.Lo)
+	}
+	return fmt.Sprintf("0x%x", k.Lo)
+}
+
+// httpLookupReply is the subset of the /lookup response the driver checks.
+type httpLookupReply struct {
+	Matched bool   `json:"matched"`
+	Action  uint64 `json:"action"`
+}
+
+func (r *runner) httpClient() *http.Client {
+	return &http.Client{
+		Timeout: 5 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        r.cfg.Conns,
+			MaxIdleConnsPerHost: r.cfg.Conns,
+		},
+	}
+}
+
+// httpLookup performs one GET /lookup round-trip and decodes the answer.
+func (r *runner) httpLookup(client *http.Client, idx int) (httpLookupReply, error) {
+	url := "http://" + r.cfg.Addr + "/lookup?key=" + hexKey(r.cfg.Trace[idx])
+	resp, err := client.Get(url)
+	if err != nil {
+		return httpLookupReply{}, err
+	}
+	var reply httpLookupReply
+	derr := json.NewDecoder(resp.Body).Decode(&reply)
+	io.Copy(io.Discard, resp.Body) // drain for keep-alive reuse
+	resp.Body.Close()
+	if derr != nil {
+		return httpLookupReply{}, derr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return httpLookupReply{}, fmt.Errorf("lookup status %d", resp.StatusCode)
+	}
+	return reply, nil
+}
+
+// runHTTP drives the HTTP/JSON baseline over a keep-alive client. Open-loop
+// mode schedules Poisson arrivals into a worker pool of Conns concurrent
+// requests; when the pool is saturated, jobs queue and their latency — still
+// measured from the scheduled send time — grows, exactly as an open-loop
+// client would experience it.
+func (r *runner) runHTTP(start time.Time) error {
+	client := r.httpClient()
+	defer client.CloseIdleConnections()
+
+	if r.cfg.Rate <= 0 {
+		return r.runHTTPClosed(client, start)
+	}
+
+	jobs := make(chan job, 1024)
+	go r.schedule(jobs, start)
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				reply, err := r.httpLookup(client, j.idx)
+				if err != nil {
+					r.errors.Add(1)
+					continue
+				}
+				r.record(time.Since(j.sched))
+				r.verify(j.idx, reply.Action, reply.Matched)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// runHTTPClosed is the closed-loop arm: Conns workers each keep one request
+// in flight, latency from the moment the request leaves.
+func (r *runner) runHTTPClosed(client *http.Client, start time.Time) error {
+	deadline := start.Add(r.cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx := w % len(r.cfg.Trace)
+			for time.Now().Before(deadline) {
+				r.sent.Add(1)
+				t0 := time.Now()
+				reply, err := r.httpLookup(client, idx)
+				if err != nil {
+					r.errors.Add(1)
+				} else {
+					r.record(time.Since(t0))
+					r.verify(idx, reply.Action, reply.Matched)
+				}
+				idx += r.cfg.Conns
+				if idx >= len(r.cfg.Trace) {
+					idx -= len(r.cfg.Trace)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package load
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package load
+
+// raceEnabled scales the smoke rates down: race instrumentation slows the
+// served side several-fold, and the open-loop achieved/offered check is about
+// driver correctness, not server throughput under the detector.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -13,36 +14,100 @@ import (
 // after a shutdown signal before forcing connections closed.
 const DefaultDrainTimeout = 10 * time.Second
 
-// Serve runs h on the listener until an error or a value on stop, then
-// drains: http.Server.Shutdown stops accepting, lets in-flight requests
-// (lookups, batch fan-outs, metric scrapes) finish within drainTimeout, and
-// closes idle connections. A clean drain returns nil — the daemon's signal
-// handler can distinguish "told to stop" from "fell over".
+// Unit is one drainable serving surface — the HTTP listener, the wire
+// listener — run together under ServeUnits so one SIGINT/SIGTERM drains them
+// all. Serve blocks until the unit stops (returning the error that broke its
+// accept loop); Shutdown stops accepting, lets in-flight work finish within
+// the context's deadline, and makes Serve return.
+type Unit interface {
+	Serve() error
+	Shutdown(ctx context.Context) error
+}
+
+// HTTPUnit adapts an http.Server + listener to the Unit interface.
+type HTTPUnit struct {
+	Listener net.Listener
+	Handler  http.Handler
+
+	once sync.Once
+	srv  *http.Server
+}
+
+// server lazily builds the http.Server so Shutdown is safe even if it wins
+// the race against the Serve goroutine (http.Server tolerates Shutdown
+// before Serve: the later Serve returns ErrServerClosed immediately).
+func (u *HTTPUnit) server() *http.Server {
+	u.once.Do(func() { u.srv = &http.Server{Handler: u.Handler} })
+	return u.srv
+}
+
+// Serve runs the HTTP accept loop until Shutdown or an accept error. The
+// http.ErrServerClosed sentinel from a clean Shutdown is translated to nil so
+// ServeUnits treats a drained unit as success.
+func (u *HTTPUnit) Serve() error {
+	if err := u.server().Serve(u.Listener); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains in-flight HTTP requests within ctx's deadline.
+func (u *HTTPUnit) Shutdown(ctx context.Context) error { return u.server().Shutdown(ctx) }
+
+// ServeUnits runs every unit until an error or a value on stop, then drains
+// them all concurrently within drainTimeout. Any unit failing its accept loop
+// stops the whole group (remaining units are shut down before returning, so
+// a dead wire listener does not leave HTTP half-alive). A clean stop-and-drain
+// returns nil.
 //
 // The stop channel is generic so callers pass a signal.Notify channel
 // (SIGINT/SIGTERM in cmd/lpmserve) and tests pass a plain channel.
-func Serve(l net.Listener, h http.Handler, stop <-chan os.Signal, drainTimeout time.Duration) error {
+func ServeUnits(stop <-chan os.Signal, drainTimeout time.Duration, units ...Unit) error {
 	if drainTimeout <= 0 {
 		drainTimeout = DefaultDrainTimeout
 	}
-	srv := &http.Server{Handler: h}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(l) }()
+	errc := make(chan error, len(units))
+	for _, u := range units {
+		u := u
+		go func() { errc <- u.Serve() }()
+	}
+	var firstErr error
+	running := len(units)
 	select {
-	case err := <-errc:
-		// Serve never returns nil; surface whatever broke the accept loop.
-		return err
+	case firstErr = <-errc:
+		running--
 	case <-stop:
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		return err
+	// Shut every unit down concurrently — a slow HTTP drain must not eat the
+	// wire listener's share of the timeout (and vice versa).
+	shutErrs := make(chan error, len(units))
+	for _, u := range units {
+		u := u
+		go func() { shutErrs <- u.Shutdown(ctx) }()
 	}
-	// The accept loop exits with ErrServerClosed after Shutdown; anything
-	// else is a real failure that raced the signal.
-	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-		return err
+	for range units {
+		if err := <-shutErrs; err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	// Collect the remaining Serve returns; a unit that exited cleanly after
+	// Shutdown reports nil.
+	for ; running > 0; running-- {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Serve runs h on the listener until an error or a value on stop, then
+// drains: http.Server.Shutdown stops accepting, lets in-flight requests
+// (lookups, batch fan-outs, metric scrapes) finish within drainTimeout, and
+// closes idle connections. A clean drain returns nil — the daemon's signal
+// handler can distinguish "told to stop" from "fell over". Kept as the
+// single-listener entry point; multi-listener daemons use ServeUnits.
+func Serve(l net.Listener, h http.Handler, stop <-chan os.Signal, drainTimeout time.Duration) error {
+	return ServeUnits(stop, drainTimeout, &HTTPUnit{Listener: l, Handler: h})
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates the allocation pins: race instrumentation adds its own
+// allocations, so AllocsPerRun thresholds only hold in plain builds.
+const raceEnabled = true

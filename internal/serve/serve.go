@@ -7,6 +7,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -502,12 +503,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ks[i] = k
 	}
-	resp := batchResponse{Count: len(ks), Results: make([]batchResult, len(ks))}
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	sc.res = s.batchStack(ks, sc.res[:0])
+	if cap(sc.rows) < len(ks) {
+		sc.rows = make([]batchResult, len(ks))
+	}
+	sc.rows = sc.rows[:len(ks)]
+	for i, res := range sc.res {
+		sc.rows[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
+	}
+	writeJSON(w, batchResponse{Count: len(ks), Results: sc.rows})
+}
+
+// batchScratch holds one /batch request's reusable result staging; pooled so
+// steady-state batch serving reuses the same backing arrays.
+type batchScratch struct {
+	res  []shard.Result
+	rows []batchResult
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return &batchScratch{} }}
+
+// batchStack resolves ks through the served lookup-plane stack, appending the
+// positional answers into dst. It is the one batch entry point shared by the
+// HTTP /batch handler and the wire server's coalescer (DESIGN.md §17), and is
+// safe for concurrent use in every mode.
+func (s *Server) batchStack(ks []keys.Value, dst []shard.Result) []shard.Result {
 	switch {
 	case s.sh != nil:
-		for i, res := range s.sh.LookupBatchStack(s.stack, ks) {
-			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
-		}
+		// The sharded fan-out: the batch splits across the shard worker pool
+		// and sees pending delta-buffer rules.
+		return append(dst, s.sh.LookupBatchStack(s.stack, ks)...)
 	case s.cache == nil:
 		// The unified batch stack. With the cache-probe plane in the served
 		// stack, a cache is checked out of the pool for the whole batch
@@ -521,19 +548,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer s.rcache.Put(c)
 			epoch = s.eng.CacheEpoch().Load()
 		}
-		for i, res := range s.eng.LookupBatchStack(s.stack, ks, nil, s.plain, c, epoch) {
-			resp.Results[i] = batchResult{Key: ks[i].String(), Matched: res.Matched, Action: res.Action}
+		bs := engineBatchPool.Get().(*engineBatch)
+		bs.res = s.eng.LookupBatchStack(s.stack, ks, bs.res[:0], s.plain, c, epoch)
+		for _, r := range bs.res {
+			dst = append(dst, shard.Result{Action: r.Action, Matched: r.Matched})
 		}
+		engineBatchPool.Put(bs)
+		return dst
 	default:
 		// The cache-sim path stays per-key: every bucket read must pass
 		// through the mutex-guarded LRU model.
-		for i, k := range ks {
+		for _, k := range ks {
 			tr, _ := s.lookup(k, false)
-			resp.Results[i] = batchResult{Key: k.String(), Matched: tr.Matched, Action: tr.Action}
+			dst = append(dst, shard.Result{Action: tr.Action, Matched: tr.Matched})
 		}
+		return dst
 	}
-	writeJSON(w, resp)
 }
+
+// engineBatch pools the single-engine batch executor's out-slice.
+type engineBatch struct{ res []core.BatchResult }
+
+var engineBatchPool = sync.Pool{New: func() any { return &engineBatch{} }}
 
 // shardHealth is the per-shard entry in the sharded /healthz response.
 type shardHealth struct {
@@ -682,16 +718,38 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// jsonEnc pairs a staging buffer with a json.Encoder writing into it, pooled
+// so the hot endpoints (/lookup, /batch) reuse the encoder state and buffer
+// instead of allocating both per request. Staging also yields an exact
+// Content-Length, which keeps the HTTP baseline honest in E29.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	writeJSONStatus(w, http.StatusOK, v)
 }
 
 func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	e := jsonEncPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		jsonEncPool.Put(e)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(e.buf.Bytes())
+	jsonEncPool.Put(e)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

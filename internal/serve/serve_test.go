@@ -117,7 +117,7 @@ func TestEndpoints(t *testing.T) {
 
 	// /healthz reports the engine's shape.
 	code, body := get("/healthz")
-	if code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
 

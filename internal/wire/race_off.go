@@ -1,0 +1,7 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation adds allocations that break strict alloc assertions.
+const raceEnabled = false
